@@ -1,0 +1,1201 @@
+//! The ROBDD manager: unique table, complement edges, ITE with a computed
+//! cache, quantification, and the `constrain`/`restrict` minimization
+//! operators that carry the paper's case-split constraints from the reference
+//! FPU into the implementation FPU.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast non-cryptographic hasher (multiply-xor-shift) for the unique and
+/// computed tables, where keys are small tuples of integers.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let mut x = self.0 ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 31;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 29;
+        self.0 = x;
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A BDD variable. The index is fixed at creation; its *level* (position in
+/// the order) may change through reordering.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BddVar(pub(crate) u32);
+
+impl BddVar {
+    /// Returns the dense index of this variable (creation order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a variable handle from a dense index.
+    ///
+    /// The variable must already exist in the manager this handle is used
+    /// with; operations panic otherwise.
+    pub fn from_index(index: usize) -> BddVar {
+        BddVar(index as u32)
+    }
+}
+
+/// An edge to a BDD node, possibly complemented. This is the public handle
+/// for a boolean function; it is `Copy` and only meaningful together with the
+/// [`BddManager`] that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant true function.
+    pub const TRUE: Bdd = Bdd(0);
+    /// The constant false function.
+    pub const FALSE: Bdd = Bdd(1);
+
+    #[inline]
+    fn new(id: u32, complement: bool) -> Bdd {
+        Bdd(id << 1 | u32::from(complement))
+    }
+
+    #[inline]
+    fn id(self) -> u32 {
+        self.0 >> 1
+    }
+
+    #[inline]
+    fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the complement (logical negation) of this function. This is a
+    /// constant-time operation thanks to complement edges.
+    #[inline]
+    pub fn not(self) -> Bdd {
+        Bdd(self.0 ^ 1)
+    }
+
+    /// Returns `true` if this is the constant true function.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// Returns `true` if this is the constant false function.
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Returns `true` if this is a constant.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.id() == 0
+    }
+}
+
+impl std::ops::Not for Bdd {
+    type Output = Bdd;
+    #[inline]
+    fn not(self) -> Bdd {
+        Bdd::not(self)
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complement() {
+            write!(f, "!n{}", self.id())
+        } else {
+            write!(f, "n{}", self.id())
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    /// Variable index (not level).
+    var: u32,
+    /// High (then) child; never complemented by the canonical form.
+    high: Bdd,
+    /// Low (else) child; may be complemented.
+    low: Bdd,
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum CacheOp {
+    Ite,
+    Constrain,
+    Restrict,
+    Exists,
+    AndExists,
+}
+
+/// Statistics the verification engine reports per case (the raw material of
+/// the paper's Table 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BddStats {
+    /// Number of nodes currently allocated (including dead nodes not yet
+    /// collected).
+    pub allocated: usize,
+    /// High-water mark of allocated nodes since creation or the last
+    /// [`BddManager::reset_peak`].
+    pub peak_allocated: usize,
+    /// Number of garbage collections performed.
+    pub gc_runs: u64,
+}
+
+/// A reduced ordered BDD manager with complement edges.
+///
+/// # Examples
+///
+/// ```
+/// use fmaverify_bdd::BddManager;
+///
+/// let mut mgr = BddManager::new();
+/// let x = mgr.new_var();
+/// let y = mgr.new_var();
+/// let fx = mgr.var_bdd(x);
+/// let fy = mgr.var_bdd(y);
+/// let xy = mgr.and(fx, fy);
+/// let yx = mgr.and(fy, fx);
+/// assert_eq!(xy, yx); // canonical
+/// ```
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: FastMap<(u32, Bdd, Bdd), u32>,
+    cache: FastMap<(CacheOp, Bdd, Bdd, Bdd), Bdd>,
+    /// `var2level[v]` is the current level of variable `v` (0 = top).
+    var2level: Vec<u32>,
+    /// `level2var[l]` is the variable at level `l`.
+    level2var: Vec<u32>,
+    stats: BddStats,
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BddManager")
+            .field("vars", &self.var2level.len())
+            .field("allocated", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager with no variables.
+    pub fn new() -> BddManager {
+        BddManager {
+            // Slot 0 is the terminal node.
+            nodes: vec![Node {
+                var: TERMINAL_VAR,
+                high: Bdd::TRUE,
+                low: Bdd::TRUE,
+            }],
+            unique: FastMap::default(),
+            cache: FastMap::default(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            stats: BddStats {
+                allocated: 1,
+                peak_allocated: 1,
+                gc_runs: 0,
+            },
+        }
+    }
+
+    /// Creates a fresh variable at the bottom of the current order.
+    pub fn new_var(&mut self) -> BddVar {
+        let v = self.var2level.len() as u32;
+        self.var2level.push(v);
+        self.level2var.push(v);
+        BddVar(v)
+    }
+
+    /// Creates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<BddVar> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of variables in the manager.
+    pub fn num_vars(&self) -> usize {
+        self.var2level.len()
+    }
+
+    /// Returns the current level of a variable (0 = top of the order).
+    pub fn level_of(&self, v: BddVar) -> usize {
+        self.var2level[v.index()] as usize
+    }
+
+    /// Returns the current variable order, top level first.
+    pub fn current_order(&self) -> Vec<BddVar> {
+        self.level2var.iter().map(|&v| BddVar(v)).collect()
+    }
+
+    /// Returns manager statistics.
+    pub fn stats(&self) -> BddStats {
+        let mut s = self.stats;
+        s.allocated = self.nodes.len();
+        s
+    }
+
+    /// Resets the peak-allocated-node high-water mark to the current size.
+    pub fn reset_peak(&mut self) {
+        self.stats.peak_allocated = self.nodes.len();
+    }
+
+    #[inline]
+    fn level_of_ref(&self, f: Bdd) -> u32 {
+        let var = self.nodes[f.id() as usize].var;
+        if var == TERMINAL_VAR {
+            u32::MAX
+        } else {
+            self.var2level[var as usize]
+        }
+    }
+
+    /// The BDD for a single variable.
+    pub fn var_bdd(&mut self, v: BddVar) -> Bdd {
+        assert!(v.index() < self.num_vars(), "unknown variable {v:?}");
+        self.mk_node(v.0, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// The BDD for the negation of a single variable.
+    pub fn nvar_bdd(&mut self, v: BddVar) -> Bdd {
+        !self.var_bdd(v)
+    }
+
+    /// Creates (or finds) the node `if var then high else low`, applying the
+    /// reduction and complement-edge canonicalization rules.
+    fn mk_node(&mut self, var: u32, high: Bdd, low: Bdd) -> Bdd {
+        if high == low {
+            return high;
+        }
+        // Canonical form: the high edge is never complemented.
+        let (high, low, out_complement) = if high.is_complement() {
+            (!high, !low, true)
+        } else {
+            (high, low, false)
+        };
+        let key = (var, high, low);
+        let id = match self.unique.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = self.nodes.len() as u32;
+                self.nodes.push(Node { var, high, low });
+                self.unique.insert(key, id);
+                if self.nodes.len() > self.stats.peak_allocated {
+                    self.stats.peak_allocated = self.nodes.len();
+                }
+                id
+            }
+        };
+        Bdd::new(id, out_complement)
+    }
+
+    /// Cofactors of `f` with respect to the variable at `level`, pushing
+    /// complement marks down.
+    #[inline]
+    fn cofactors(&self, f: Bdd, level: u32) -> (Bdd, Bdd) {
+        if self.level_of_ref(f) != level {
+            return (f, f);
+        }
+        let n = self.nodes[f.id() as usize];
+        if f.is_complement() {
+            (!n.high, !n.low)
+        } else {
+            (n.high, n.low)
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = (f AND g) OR (NOT f AND h)`.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal and simplification rules.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        let (f, g, h) = {
+            let f = f;
+            let mut g = g;
+            let mut h = h;
+            if g == f {
+                g = Bdd::TRUE;
+            } else if g == !f {
+                g = Bdd::FALSE;
+            }
+            if h == f {
+                h = Bdd::FALSE;
+            } else if h == !f {
+                h = Bdd::TRUE;
+            }
+            (f, g, h)
+        };
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if g.is_false() && h.is_true() {
+            return !f;
+        }
+        // Normalize: first argument positive, and use !ite(f,!g,!h) to make g
+        // positive, improving cache hit rates.
+        let (f, g, h, out_neg) = if f.is_complement() {
+            (!f, h, g, false)
+        } else {
+            (f, g, h, false)
+        };
+        let (f, g, h, out_neg) = if g.is_complement() {
+            (f, !g, !h, !out_neg)
+        } else {
+            (f, g, h, out_neg)
+        };
+        let key = (CacheOp::Ite, f, g, h);
+        if let Some(&r) = self.cache.get(&key) {
+            return if out_neg { !r } else { r };
+        }
+        let level = self
+            .level_of_ref(f)
+            .min(self.level_of_ref(g))
+            .min(self.level_of_ref(h));
+        let (f1, f0) = self.cofactors(f, level);
+        let (g1, g0) = self.cofactors(g, level);
+        let (h1, h0) = self.cofactors(h, level);
+        let t = self.ite(f1, g1, h1);
+        let e = self.ite(f0, g0, h0);
+        let var = self.level2var[level as usize];
+        let r = self.mk_node(var, t, e);
+        self.cache.insert(key, r);
+        if out_neg {
+            !r
+        } else {
+            r
+        }
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::FALSE)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, !g, g)
+    }
+
+    /// Equivalence (xnor).
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, !g)
+    }
+
+    /// Implication `f -> g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::TRUE)
+    }
+
+    /// Coudert–Madre generalized cofactor ("constrain").
+    ///
+    /// `constrain(f, c)` agrees with `f` on every assignment satisfying `c`
+    /// and is free to take any value elsewhere; the particular choice maps
+    /// each off-care-set point to its "nearest" care-set point, which makes
+    /// the operator distribute over gates: `g(a,b)|c = g(a|c, b|c)`. This is
+    /// the property the paper exploits to case-split the *implementation* FPU
+    /// using constraints defined only on the *reference* FPU.
+    ///
+    /// # Panics
+    /// Panics if `c` is the constant false (the care set must be non-empty).
+    pub fn constrain(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        assert!(!c.is_false(), "constrain care-set must be non-empty");
+        self.constrain_rec(f, c)
+    }
+
+    fn constrain_rec(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        if c.is_true() || f.is_const() {
+            return f;
+        }
+        if c == f {
+            return Bdd::TRUE;
+        }
+        if c == !f {
+            return Bdd::FALSE;
+        }
+        let key = (CacheOp::Constrain, f, c, Bdd::FALSE);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let level = self.level_of_ref(f).min(self.level_of_ref(c));
+        let (c1, c0) = self.cofactors(c, level);
+        let (f1, f0) = self.cofactors(f, level);
+        let r = if c1.is_false() {
+            self.constrain_rec(f0, c0)
+        } else if c0.is_false() {
+            self.constrain_rec(f1, c1)
+        } else {
+            let t = self.constrain_rec(f1, c1);
+            let e = self.constrain_rec(f0, c0);
+            let var = self.level2var[level as usize];
+            self.mk_node(var, t, e)
+        };
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// The "restrict" minimization operator (sibling substitution).
+    ///
+    /// Like [`BddManager::constrain`] it agrees with `f` on the care set `c`,
+    /// but it additionally drops variables of `c` that do not appear in `f`,
+    /// which often yields smaller results. Unlike `constrain` it does **not**
+    /// distribute over gates; the paper evaluates such "more aggressive
+    /// minimization algorithms" and finds them slower overall (our
+    /// `minimize_ablation` bench reproduces that comparison).
+    ///
+    /// # Panics
+    /// Panics if `c` is the constant false.
+    pub fn restrict(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        assert!(!c.is_false(), "restrict care-set must be non-empty");
+        self.restrict_rec(f, c)
+    }
+
+    fn restrict_rec(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        if c.is_true() || f.is_const() {
+            return f;
+        }
+        if c == f {
+            return Bdd::TRUE;
+        }
+        if c == !f {
+            return Bdd::FALSE;
+        }
+        let key = (CacheOp::Restrict, f, c, Bdd::FALSE);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let f_level = self.level_of_ref(f);
+        let c_level = self.level_of_ref(c);
+        let r = if c_level < f_level {
+            // Top variable of `c` does not constrain `f` at this level:
+            // quantify it out of the care set.
+            let (c1, c0) = self.cofactors(c, c_level);
+            let c_up = self.or(c1, c0);
+            self.restrict_rec(f, c_up)
+        } else {
+            let level = f_level.min(c_level);
+            let (c1, c0) = self.cofactors(c, level);
+            let (f1, f0) = self.cofactors(f, level);
+            if c1.is_false() {
+                self.restrict_rec(f0, c0)
+            } else if c0.is_false() {
+                self.restrict_rec(f1, c1)
+            } else {
+                let t = self.restrict_rec(f1, c1);
+                let e = self.restrict_rec(f0, c0);
+                let var = self.level2var[level as usize];
+                self.mk_node(var, t, e)
+            }
+        };
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Existential quantification of `f` over the variables in `vars`.
+    pub fn exists(&mut self, f: Bdd, vars: &[BddVar]) -> Bdd {
+        let cube = self.cube(vars);
+        self.exists_cube(f, cube)
+    }
+
+    /// Universal quantification of `f` over the variables in `vars`.
+    pub fn forall(&mut self, f: Bdd, vars: &[BddVar]) -> Bdd {
+        let cube = self.cube(vars);
+        !self.exists_cube(!f, cube)
+    }
+
+    /// Builds the positive cube (conjunction) of the given variables.
+    pub fn cube(&mut self, vars: &[BddVar]) -> Bdd {
+        let mut sorted: Vec<BddVar> = vars.to_vec();
+        sorted.sort_by_key(|v| std::cmp::Reverse(self.level_of(*v)));
+        let mut acc = Bdd::TRUE;
+        for v in sorted {
+            acc = self.mk_node(v.0, acc, Bdd::FALSE);
+        }
+        acc
+    }
+
+    fn exists_cube(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        if f.is_const() || cube.is_true() {
+            return f;
+        }
+        let key = (CacheOp::Exists, f, cube, Bdd::FALSE);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let f_level = self.level_of_ref(f);
+        // Skip cube variables above f's top variable.
+        let mut cube = cube;
+        while !cube.is_true() && self.level_of_ref(cube) < f_level {
+            cube = self.nodes[cube.id() as usize].high;
+        }
+        if cube.is_true() {
+            return f;
+        }
+        let level = f_level;
+        let (f1, f0) = self.cofactors(f, level);
+        let r = if self.level_of_ref(cube) == level {
+            let next_cube = self.nodes[cube.id() as usize].high;
+            let t = self.exists_cube(f1, next_cube);
+            let e = self.exists_cube(f0, next_cube);
+            self.or(t, e)
+        } else {
+            let t = self.exists_cube(f1, cube);
+            let e = self.exists_cube(f0, cube);
+            let var = self.level2var[level as usize];
+            self.mk_node(var, t, e)
+        };
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Relational product `exists vars. f AND g`, computed without building
+    /// the full conjunction.
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: &[BddVar]) -> Bdd {
+        let cube = self.cube(vars);
+        self.and_exists_cube(f, g, cube)
+    }
+
+    fn and_exists_cube(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Bdd {
+        if f.is_false() || g.is_false() {
+            return Bdd::FALSE;
+        }
+        if cube.is_true() {
+            return self.and(f, g);
+        }
+        if f.is_true() && g.is_true() {
+            return Bdd::TRUE;
+        }
+        let key = (CacheOp::AndExists, f, g, cube);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let level = self.level_of_ref(f).min(self.level_of_ref(g));
+        let mut cube = cube;
+        while !cube.is_true() && self.level_of_ref(cube) < level {
+            cube = self.nodes[cube.id() as usize].high;
+        }
+        let (f1, f0) = self.cofactors(f, level);
+        let (g1, g0) = self.cofactors(g, level);
+        let r = if !cube.is_true() && self.level_of_ref(cube) == level {
+            let next_cube = self.nodes[cube.id() as usize].high;
+            let t = self.and_exists_cube(f1, g1, next_cube);
+            if t.is_true() {
+                Bdd::TRUE
+            } else {
+                let e = self.and_exists_cube(f0, g0, next_cube);
+                self.or(t, e)
+            }
+        } else {
+            let t = self.and_exists_cube(f1, g1, cube);
+            let e = self.and_exists_cube(f0, g0, cube);
+            let var = self.level2var[level as usize];
+            self.mk_node(var, t, e)
+        };
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Evaluates `f` under a complete assignment (indexed by variable index).
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        let mut parity = false;
+        loop {
+            parity ^= cur.is_complement();
+            let n = self.nodes[cur.id() as usize];
+            if n.var == TERMINAL_VAR {
+                return !parity; // terminal is TRUE
+            }
+            cur = if assignment[n.var as usize] {
+                n.high
+            } else {
+                n.low
+            };
+        }
+    }
+
+    /// Returns some satisfying assignment of `f` as `(var, value)` pairs for
+    /// the variables on the chosen path, or `None` if `f` is unsatisfiable.
+    ///
+    /// Variables not mentioned may take either value.
+    pub fn pick_sat(&self, f: Bdd) -> Option<Vec<(BddVar, bool)>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        let mut parity = false;
+        loop {
+            parity ^= cur.is_complement();
+            let n = self.nodes[cur.id() as usize];
+            if n.var == TERMINAL_VAR {
+                debug_assert!(!parity, "walk reached FALSE");
+                return Some(path);
+            }
+            // Prefer the branch that is not constant-false (under parity).
+            let high_false = n.high == if parity { Bdd::TRUE } else { Bdd::FALSE };
+            if !high_false {
+                path.push((BddVar(n.var), true));
+                cur = n.high;
+            } else {
+                path.push((BddVar(n.var), false));
+                cur = n.low;
+            }
+        }
+    }
+
+    /// Counts the satisfying assignments of `f` over all `num_vars`
+    /// variables, as an `f64` (exact for counts below 2^53).
+    pub fn sat_count(&self, f: Bdd) -> f64 {
+        let mut memo: FastMap<Bdd, f64> = FastMap::default();
+        let total_levels = self.num_vars() as u32;
+        self.sat_count_rec(f, 0, total_levels, &mut memo)
+    }
+
+    fn sat_count_rec(
+        &self,
+        f: Bdd,
+        level: u32,
+        total_levels: u32,
+        memo: &mut FastMap<Bdd, f64>,
+    ) -> f64 {
+        let f_level = self.level_of_ref(f).min(total_levels);
+        let skipped = f_level - level;
+        let base = if f.is_true() {
+            1.0
+        } else if f.is_false() {
+            0.0
+        } else {
+            if let Some(&c) = memo.get(&f) {
+                return c * 2f64.powi(skipped as i32);
+            }
+            let (f1, f0) = self.cofactors(f, f_level);
+            let c1 = self.sat_count_rec(f1, f_level + 1, total_levels, memo);
+            let c0 = self.sat_count_rec(f0, f_level + 1, total_levels, memo);
+            let c = c1 + c0;
+            memo.insert(f, c);
+            c
+        };
+        base * 2f64.powi(skipped as i32)
+    }
+
+    /// Returns the set of variables `f` depends on.
+    pub fn support(&self, f: Bdd) -> Vec<BddVar> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut vars = vec![false; self.num_vars()];
+        let mut stack = vec![f.id()];
+        while let Some(id) = stack.pop() {
+            if seen[id as usize] {
+                continue;
+            }
+            seen[id as usize] = true;
+            let n = self.nodes[id as usize];
+            if n.var == TERMINAL_VAR {
+                continue;
+            }
+            vars[n.var as usize] = true;
+            stack.push(n.high.id());
+            stack.push(n.low.id());
+        }
+        vars.iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| BddVar(i as u32))
+            .collect()
+    }
+
+    /// Counts the nodes reachable from the given roots (shared nodes counted
+    /// once). The terminal is included.
+    pub fn reachable_count(&self, roots: &[Bdd]) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = roots.iter().map(|r| r.id()).collect();
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if seen[id as usize] {
+                continue;
+            }
+            seen[id as usize] = true;
+            count += 1;
+            let n = self.nodes[id as usize];
+            if n.var != TERMINAL_VAR {
+                stack.push(n.high.id());
+                stack.push(n.low.id());
+            }
+        }
+        count
+    }
+
+    /// Garbage-collects nodes unreachable from `roots`, compacting the node
+    /// arena and clearing operation caches. Returns the remapped roots, in
+    /// order; all other previously-held [`Bdd`] handles become invalid.
+    pub fn gc(&mut self, roots: &[Bdd]) -> Vec<Bdd> {
+        self.stats.gc_runs += 1;
+        let mut remap: Vec<u32> = vec![u32::MAX; self.nodes.len()];
+        remap[0] = 0; // terminal survives in place
+        let mut new_nodes: Vec<Node> = vec![self.nodes[0]];
+
+        // Depth-first copy preserving child-before-parent order.
+        fn copy(
+            id: u32,
+            nodes: &[Node],
+            remap: &mut [u32],
+            new_nodes: &mut Vec<Node>,
+        ) -> u32 {
+            if remap[id as usize] != u32::MAX {
+                return remap[id as usize];
+            }
+            let n = nodes[id as usize];
+            let h = copy(n.high.id(), nodes, remap, new_nodes);
+            let l = copy(n.low.id(), nodes, remap, new_nodes);
+            let new_id = new_nodes.len() as u32;
+            new_nodes.push(Node {
+                var: n.var,
+                high: Bdd::new(h, n.high.is_complement()),
+                low: Bdd::new(l, n.low.is_complement()),
+            });
+            remap[id as usize] = new_id;
+            new_id
+        }
+
+        let new_roots: Vec<Bdd> = roots
+            .iter()
+            .map(|r| {
+                let id = copy(r.id(), &self.nodes, &mut remap, &mut new_nodes);
+                Bdd::new(id, r.is_complement())
+            })
+            .collect();
+
+        self.nodes = new_nodes;
+        self.unique.clear();
+        for (id, n) in self.nodes.iter().enumerate().skip(1) {
+            self.unique.insert((n.var, n.high, n.low), id as u32);
+        }
+        self.cache.clear();
+        new_roots
+    }
+
+    /// Clears the operation caches (useful to bound memory between cases).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Renders the BDDs rooted at `roots` in Graphviz dot format: solid
+    /// edges for the high branch, dashed for low, dotted marks on
+    /// complemented edges. Useful for debugging small functions.
+    pub fn to_dot(&self, roots: &[(&str, Bdd)]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for (name, r) in roots {
+            let style = if r.is_complement() { " style=dotted" } else { "" };
+            let _ = writeln!(out, "  \"{name}\" [shape=plaintext];");
+            let _ = writeln!(out, "  \"{name}\" -> n{}[{}];", r.id(), style);
+            stack.push(r.id());
+        }
+        while let Some(id) = stack.pop() {
+            if seen[id as usize] {
+                continue;
+            }
+            seen[id as usize] = true;
+            let n = self.nodes[id as usize];
+            if n.var == TERMINAL_VAR {
+                let _ = writeln!(out, "  n{id} [label=\"1\" shape=box];");
+                continue;
+            }
+            let _ = writeln!(out, "  n{id} [label=\"x{}\"];", n.var);
+            let hstyle = if n.high.is_complement() { ", style=dotted" } else { "" };
+            let _ = writeln!(out, "  n{id} -> n{} [label=\"1\"{}];", n.high.id(), hstyle);
+            let lstyle = if n.low.is_complement() { " style=dotted" } else { "" };
+            let _ = writeln!(
+                out,
+                "  n{id} -> n{} [label=\"0\" style=dashed{}];",
+                n.low.id(),
+                lstyle
+            );
+            stack.push(n.high.id());
+            stack.push(n.low.id());
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Rebuilds the given roots under a new variable order and garbage
+    /// collects everything else. `order` must be a permutation of all
+    /// variables (top level first). Returns the remapped roots; all other
+    /// handles become invalid.
+    ///
+    /// This is an apply-based reordering: sound by construction, but more
+    /// expensive than in-place sifting. The verification methodology follows
+    /// the paper in preferring good *static* orders, so reordering is only
+    /// exercised by the ordering-ablation experiment.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of the manager's variables.
+    pub fn set_order(&mut self, order: &[BddVar], roots: &[Bdd]) -> Vec<Bdd> {
+        assert_eq!(order.len(), self.num_vars(), "order must cover all variables");
+        let mut seen = vec![false; self.num_vars()];
+        for v in order {
+            assert!(
+                !std::mem::replace(&mut seen[v.index()], true),
+                "duplicate variable in order"
+            );
+        }
+        // Copy old structure out, then rebuild bottom-up under the new order.
+        let old_nodes = self.nodes.clone();
+        for (level, v) in order.iter().enumerate() {
+            self.var2level[v.index()] = level as u32;
+            self.level2var[level] = v.0;
+        }
+        self.unique.clear();
+        self.cache.clear();
+        self.nodes.truncate(1);
+        self.unique.shrink_to_fit();
+
+        let mut memo: FastMap<u32, Bdd> = FastMap::default();
+        let mut new_roots = Vec::with_capacity(roots.len());
+        for r in roots {
+            let body = self.rebuild_rec(r.id(), &old_nodes, &mut memo);
+            new_roots.push(if r.is_complement() { !body } else { body });
+        }
+        new_roots
+    }
+
+    fn rebuild_rec(&mut self, id: u32, old_nodes: &[Node], memo: &mut FastMap<u32, Bdd>) -> Bdd {
+        if let Some(&r) = memo.get(&id) {
+            return r;
+        }
+        let n = old_nodes[id as usize];
+        let r = if n.var == TERMINAL_VAR {
+            Bdd::TRUE
+        } else {
+            let h_body = self.rebuild_rec(n.high.id(), old_nodes, memo);
+            let h = if n.high.is_complement() { !h_body } else { h_body };
+            let l_body = self.rebuild_rec(n.low.id(), old_nodes, memo);
+            let l = if n.low.is_complement() { !l_body } else { l_body };
+            let v = self.var_bdd(BddVar(n.var));
+            self.ite(v, h, l)
+        };
+        memo.insert(id, r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (BddManager, Vec<Bdd>) {
+        let mut mgr = BddManager::new();
+        let vars = mgr.new_vars(n);
+        let bdds = vars.iter().map(|&v| mgr.var_bdd(v)).collect();
+        (mgr, bdds)
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Bdd::TRUE.is_true());
+        assert!(Bdd::FALSE.is_false());
+        assert_eq!(!Bdd::TRUE, Bdd::FALSE);
+        assert!(Bdd::TRUE.is_const() && Bdd::FALSE.is_const());
+    }
+
+    #[test]
+    fn basic_algebra() {
+        let (mut m, v) = setup(3);
+        let (a, b, c) = (v[0], v[1], v[2]);
+        assert_eq!(m.and(a, Bdd::TRUE), a);
+        assert_eq!(m.and(a, Bdd::FALSE), Bdd::FALSE);
+        assert_eq!(m.or(a, !a), Bdd::TRUE);
+        assert_eq!(m.and(a, !a), Bdd::FALSE);
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba);
+        let lhs = {
+            let bc = m.or(b, c);
+            m.and(a, bc)
+        };
+        let rhs = {
+            let ab = m.and(a, b);
+            let ac = m.and(a, c);
+            m.or(ab, ac)
+        };
+        assert_eq!(lhs, rhs); // distributivity, canonical
+        let x1 = m.xor(a, b);
+        let x2 = m.xor(b, a);
+        assert_eq!(x1, x2);
+        let xn = m.xnor(a, b);
+        assert_eq!(xn, !x1);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut m, v) = setup(2);
+        let and = m.and(v[0], v[1]);
+        let or_neg = m.or(!v[0], !v[1]);
+        assert_eq!(!and, or_neg);
+    }
+
+    #[test]
+    fn eval_and_pick_sat() {
+        let (mut m, v) = setup(3);
+        let ab = m.and(v[0], v[1]);
+        let f = m.or(ab, v[2]);
+        assert!(m.eval(f, &[true, true, false]));
+        assert!(!m.eval(f, &[true, false, false]));
+        assert!(m.eval(f, &[false, false, true]));
+        let sat = m.pick_sat(f).expect("satisfiable");
+        let mut assignment = [false; 3];
+        for (var, val) in sat {
+            assignment[var.index()] = val;
+        }
+        assert!(m.eval(f, &assignment));
+        assert!(m.pick_sat(Bdd::FALSE).is_none());
+    }
+
+    #[test]
+    fn sat_count() {
+        let (mut m, v) = setup(3);
+        let f = m.and(v[0], v[1]);
+        assert_eq!(m.sat_count(f), 2.0); // v2 free
+        assert_eq!(m.sat_count(Bdd::TRUE), 8.0);
+        assert_eq!(m.sat_count(Bdd::FALSE), 0.0);
+        let x = m.xor(v[0], v[2]);
+        assert_eq!(m.sat_count(x), 4.0);
+    }
+
+    #[test]
+    fn quantification() {
+        let (mut m, v) = setup(3);
+        let vars = [BddVar::from_index(1)];
+        let f = m.and(v[0], v[1]);
+        let ex = m.exists(f, &vars);
+        assert_eq!(ex, v[0]);
+        let fa = m.forall(f, &vars);
+        assert_eq!(fa, Bdd::FALSE);
+        let g = m.or(v[0], v[1]);
+        let fa2 = m.forall(g, &vars);
+        assert_eq!(fa2, v[0]);
+        // and_exists equals exists of and.
+        let h = m.or(v[1], v[2]);
+        let ae = m.and_exists(f, h, &vars);
+        let plain = {
+            let fh = m.and(f, h);
+            m.exists(fh, &vars)
+        };
+        assert_eq!(ae, plain);
+    }
+
+    #[test]
+    fn support_set() {
+        let (mut m, v) = setup(4);
+        let f = {
+            let ab = m.and(v[0], v[2]);
+            m.or(ab, v[3])
+        };
+        let s = m.support(f);
+        let idx: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        assert_eq!(idx, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn constrain_agrees_on_care_set() {
+        let (mut m, v) = setup(4);
+        let f = {
+            let t = m.xor(v[0], v[1]);
+            m.or(t, v[2])
+        };
+        let c = m.and(v[1], v[3]);
+        let fc = m.constrain(f, c);
+        // For every assignment in c, f and fc agree.
+        for bits in 0..16u32 {
+            let a: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            if m.eval(c, &a) {
+                assert_eq!(m.eval(f, &a), m.eval(fc, &a));
+            }
+        }
+        // constrain(f, c) AND c == f AND c
+        let lhs = m.and(fc, c);
+        let rhs = m.and(f, c);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn constrain_distributes_over_gates() {
+        // g(a, b)|c == g(a|c, b|c) — the key soundness property for
+        // constraint-based case splitting during symbolic simulation.
+        let (mut m, v) = setup(4);
+        let a = m.xor(v[0], v[1]);
+        let b = m.or(v[1], v[2]);
+        let c = {
+            let t = m.xnor(v[0], v[3]);
+            m.or(t, v[2])
+        };
+        let g = m.and(a, b);
+        let lhs = m.constrain(g, c);
+        let ac = m.constrain(a, c);
+        let bc = m.constrain(b, c);
+        let rhs = m.and(ac, bc);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn restrict_agrees_on_care_set() {
+        let (mut m, v) = setup(4);
+        let f = {
+            let t = m.and(v[0], v[1]);
+            m.or(t, v[2])
+        };
+        let c = m.xnor(v[1], v[3]);
+        let fr = m.restrict(f, c);
+        for bits in 0..16u32 {
+            let a: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            if m.eval(c, &a) {
+                assert_eq!(m.eval(f, &a), m.eval(fr, &a));
+            }
+        }
+    }
+
+    #[test]
+    fn gc_preserves_roots() {
+        let (mut m, v) = setup(4);
+        let f = {
+            let t = m.and(v[0], v[1]);
+            m.or(t, v[2])
+        };
+        let g = m.xor(v[2], v[3]);
+        // Create garbage.
+        for i in 0..3 {
+            let t = m.and(v[i], v[i + 1]);
+            let _ = m.xor(t, v[0]);
+        }
+        let before = m.stats().allocated;
+        let roots = m.gc(&[f, g]);
+        let after = m.stats().allocated;
+        assert!(after <= before);
+        for bits in 0..16u32 {
+            let a: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let old_f = bits & 1 == 1 && bits >> 1 & 1 == 1 || bits >> 2 & 1 == 1;
+            let old_g = (bits >> 2 & 1 == 1) != (bits >> 3 & 1 == 1);
+            assert_eq!(m.eval(roots[0], &a), old_f);
+            assert_eq!(m.eval(roots[1], &a), old_g);
+        }
+    }
+
+    #[test]
+    fn dot_rendering() {
+        let (mut m, v) = setup(2);
+        let f = m.and(v[0], v[1]);
+        let dot = m.to_dot(&[("and", f), ("nand", !f)]);
+        assert!(dot.starts_with("digraph bdd {"));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("style=dotted"), "complement edges are marked");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn reorder_preserves_function() {
+        let (mut m, v) = setup(4);
+        let f = {
+            let t = m.xor(v[0], v[2]);
+            let u = m.and(v[1], v[3]);
+            m.or(t, u)
+        };
+        let new_order: Vec<BddVar> = [3usize, 1, 2, 0]
+            .iter()
+            .map(|&i| BddVar::from_index(i))
+            .collect();
+        let roots = m.set_order(&new_order, &[f]);
+        assert_eq!(m.level_of(BddVar::from_index(3)), 0);
+        for bits in 0..16u32 {
+            let a: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let expect = ((bits & 1 == 1) != (bits >> 2 & 1 == 1))
+                || (bits >> 1 & 1 == 1 && bits >> 3 & 1 == 1);
+            assert_eq!(m.eval(roots[0], &a), expect);
+        }
+    }
+
+    #[test]
+    fn interleaved_order_keeps_equality_small() {
+        // The classic motivation for the paper's static orders: comparing two
+        // n-bit vectors is linear with interleaved variables, exponential with
+        // blocked variables.
+        let n = 8;
+        let mut m = BddManager::new();
+        let vars = m.new_vars(2 * n);
+        // Interleaved: a0 b0 a1 b1 ...
+        let mut eq = Bdd::TRUE;
+        for i in 0..n {
+            let a = m.var_bdd(vars[2 * i]);
+            let b = m.var_bdd(vars[2 * i + 1]);
+            let bit_eq = m.xnor(a, b);
+            eq = m.and(eq, bit_eq);
+        }
+        let interleaved = m.reachable_count(&[eq]);
+
+        let mut m2 = BddManager::new();
+        let vars2 = m2.new_vars(2 * n);
+        // Blocked: a0..a7 b0..b7
+        let mut eq2 = Bdd::TRUE;
+        for i in 0..n {
+            let a = m2.var_bdd(vars2[i]);
+            let b = m2.var_bdd(vars2[n + i]);
+            let bit_eq = m2.xnor(a, b);
+            eq2 = m2.and(eq2, bit_eq);
+        }
+        let blocked = m2.reachable_count(&[eq2]);
+        assert!(
+            interleaved * 4 < blocked,
+            "interleaved {interleaved} should be much smaller than blocked {blocked}"
+        );
+    }
+}

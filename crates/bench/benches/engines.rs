@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks of the formal engines on fixed verification
+//! cases (the per-case costs that Table 1 aggregates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmaverify::{
+    build_harness, check_miter_bdd_parts, check_miter_sat_parts, paper_order, BddEngineOptions,
+    CaseId, HarnessOptions, Minimize, SatEngineOptions, ShaCase,
+};
+use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
+use fmaverify_softfloat::FpFormat;
+
+fn tiny_cfg() -> FpuConfig {
+    FpuConfig {
+        format: FpFormat::new(3, 2),
+        denormals: DenormalMode::FlushToZero,
+    }
+}
+
+fn bench_bdd_overlap_case(c: &mut Criterion) {
+    let cfg = tiny_cfg();
+    let mut h = build_harness(&cfg, HarnessOptions::default());
+    let case = CaseId::OverlapNoCancel { delta: 3 };
+    let parts = h.case_constraint_parts(FpuOp::Fma, case);
+    let order = paper_order(&h, Some(3));
+    c.bench_function("bdd_overlap_no_cancel_case", |b| {
+        b.iter(|| {
+            let out = check_miter_bdd_parts(
+                &h.netlist,
+                h.miter,
+                &parts,
+                &BddEngineOptions {
+                    order: order.clone(),
+                    ..BddEngineOptions::default()
+                },
+            );
+            assert!(out.holds);
+            out.peak_nodes
+        })
+    });
+}
+
+fn bench_bdd_cancellation_case(c: &mut Criterion) {
+    let cfg = tiny_cfg();
+    let mut h = build_harness(&cfg, HarnessOptions::default());
+    let case = CaseId::OverlapCancel {
+        delta: 0,
+        sha: ShaCase::Exact(cfg.format.frac_bits() as usize + 2),
+    };
+    let parts = h.case_constraint_parts(FpuOp::Fma, case);
+    let order = paper_order(&h, Some(0));
+    c.bench_function("bdd_cancellation_case", |b| {
+        b.iter(|| {
+            let out = check_miter_bdd_parts(
+                &h.netlist,
+                h.miter,
+                &parts,
+                &BddEngineOptions {
+                    order: order.clone(),
+                    ..BddEngineOptions::default()
+                },
+            );
+            assert!(out.holds);
+            out.peak_nodes
+        })
+    });
+}
+
+fn bench_bdd_minimize_strategies(c: &mut Criterion) {
+    let cfg = tiny_cfg();
+    let mut h = build_harness(&cfg, HarnessOptions::default());
+    let case = CaseId::OverlapCancel {
+        delta: 1,
+        sha: ShaCase::Exact(cfg.format.frac_bits() as usize + 1),
+    };
+    let parts = h.case_constraint_parts(FpuOp::Fma, case);
+    let order = paper_order(&h, Some(1));
+    let mut group = c.benchmark_group("bdd_minimize");
+    for (name, minimize) in [
+        ("constrain", Minimize::Constrain),
+        ("restrict", Minimize::Restrict),
+        ("none", Minimize::None),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = check_miter_bdd_parts(
+                    &h.netlist,
+                    h.miter,
+                    &parts,
+                    &BddEngineOptions {
+                        minimize,
+                        order: order.clone(),
+                        ..BddEngineOptions::default()
+                    },
+                );
+                assert!(out.holds);
+                out.peak_nodes
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sat_farout_case(c: &mut Criterion) {
+    let cfg = tiny_cfg();
+    let mut h = build_harness(&cfg, HarnessOptions::default());
+    let parts = h.case_constraint_parts(FpuOp::Fma, CaseId::FarOut);
+    c.bench_function("sat_farout_case", |b| {
+        b.iter(|| {
+            let out =
+                check_miter_sat_parts(&h.netlist, h.miter, &parts, &SatEngineOptions::default());
+            assert!(out.holds);
+            out.stats.conflicts
+        })
+    });
+}
+
+fn bench_sat_mult_case(c: &mut Criterion) {
+    let cfg = tiny_cfg();
+    let mut h = build_harness(&cfg, HarnessOptions::default());
+    let parts = h.case_constraint_parts(FpuOp::Mul, CaseId::Monolithic);
+    c.bench_function("sat_mult_monolithic", |b| {
+        b.iter(|| {
+            let out =
+                check_miter_sat_parts(&h.netlist, h.miter, &parts, &SatEngineOptions::default());
+            assert!(out.holds);
+            out.stats.conflicts
+        })
+    });
+}
+
+fn bench_soundness_obligation(c: &mut Criterion) {
+    let cfg = tiny_cfg();
+    c.bench_function("multiplier_soundness_proof", |b| {
+        b.iter(|| {
+            let r = fmaverify::prove_multiplier_soundness(&cfg, &[]);
+            assert!(r.holds);
+            r.cone_ands
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets =
+    bench_bdd_overlap_case,
+    bench_bdd_cancellation_case,
+    bench_bdd_minimize_strategies,
+    bench_sat_farout_case,
+    bench_sat_mult_case,
+    bench_soundness_obligation,
+
+}
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks of the substrate layers: the softfloat
+//! oracle, netlist simulation, BDD operations, SAT solving, and sweeping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmaverify_bdd::BddManager;
+use fmaverify_fpu::{
+    build_impl_fpu, build_ref_fpu, DenormalMode, FpuConfig, FpuInputs, MultiplierMode,
+    PipelineMode, ProductSource,
+};
+use fmaverify_netlist::{sat_sweep, BitSim, Netlist, SatEncoder, SweepOptions};
+use fmaverify_sat::{SolveResult, Solver};
+use fmaverify_softfloat::{fma, FpFormat, RoundingMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_softfloat_fma(c: &mut Criterion) {
+    let fmt = FpFormat::DOUBLE;
+    let mut rng = StdRng::seed_from_u64(1);
+    let inputs: Vec<(u128, u128, u128)> = (0..512)
+        .map(|_| {
+            (
+                rng.gen::<u64>() as u128,
+                rng.gen::<u64>() as u128,
+                rng.gen::<u64>() as u128,
+            )
+        })
+        .collect();
+    c.bench_function("softfloat_fma_double_512ops", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for &(x, y, z) in &inputs {
+                acc ^= fma(fmt, x, y, z, RoundingMode::NearestEven).bits;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_netlist_sim(c: &mut Criterion) {
+    let cfg = FpuConfig {
+        format: FpFormat::HALF,
+        denormals: DenormalMode::FlushToZero,
+    };
+    let mut n = Netlist::new();
+    let inputs = FpuInputs::new(&mut n, cfg.format);
+    let fpu = build_impl_fpu(
+        &mut n,
+        &cfg,
+        &inputs,
+        MultiplierMode::Real,
+        PipelineMode::Combinational,
+    );
+    let mut sim = BitSim::new(&n);
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("bitsim_impl_fpu_half_eval", |b| {
+        b.iter(|| {
+            sim.set_word(&inputs.a, rng.gen::<u128>() & cfg.format.mask());
+            sim.set_word(&inputs.b, rng.gen::<u128>() & cfg.format.mask());
+            sim.set_word(&inputs.c, rng.gen::<u128>() & cfg.format.mask());
+            sim.set_word(&inputs.op, 0);
+            sim.set_word(&inputs.rm, 0);
+            sim.eval();
+            sim.get_word(&fpu.outputs.result)
+        })
+    });
+}
+
+fn bench_fpu_construction(c: &mut Criterion) {
+    let cfg = FpuConfig {
+        format: FpFormat::HALF,
+        denormals: DenormalMode::FlushToZero,
+    };
+    let mut group = c.benchmark_group("fpu_construction_half");
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut n = Netlist::new();
+            let inputs = FpuInputs::new(&mut n, cfg.format);
+            build_ref_fpu(&mut n, &cfg, &inputs, ProductSource::Exact);
+            n.num_ands()
+        })
+    });
+    group.bench_function("implementation", |b| {
+        b.iter(|| {
+            let mut n = Netlist::new();
+            let inputs = FpuInputs::new(&mut n, cfg.format);
+            build_impl_fpu(
+                &mut n,
+                &cfg,
+                &inputs,
+                MultiplierMode::Real,
+                PipelineMode::Combinational,
+            );
+            n.num_ands()
+        })
+    });
+    group.finish();
+}
+
+fn bench_bdd_adder(c: &mut Criterion) {
+    c.bench_function("bdd_adder_16bit_interleaved", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            let vars = m.new_vars(32);
+            // Interleaved a/b vars; build the 16-bit sum bits.
+            let mut carry = fmaverify_bdd::Bdd::FALSE;
+            let mut acc = fmaverify_bdd::Bdd::FALSE;
+            for i in 0..16 {
+                let a = m.var_bdd(vars[2 * i]);
+                let bb = m.var_bdd(vars[2 * i + 1]);
+                let x = m.xor(a, bb);
+                let s = m.xor(x, carry);
+                let g = m.and(a, bb);
+                let p = m.and(x, carry);
+                carry = m.or(g, p);
+                acc = m.xor(acc, s);
+            }
+            m.stats().peak_allocated
+        })
+    });
+}
+
+fn bench_sat_adder_equiv(c: &mut Criterion) {
+    let mut n = Netlist::new();
+    let a = n.word_input("a", 24);
+    let b = n.word_input("b", 24);
+    let s1 = n.add(&a, &b);
+    let nb = n.neg(&b);
+    let s2 = n.sub(&a, &nb);
+    let d = n.xor_word(&s1, &s2);
+    let miter = n.or_reduce(&d);
+    c.bench_function("sat_adder_equiv_24bit", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            let mut enc = SatEncoder::new();
+            let lit = enc.lit(&n, &mut solver, miter);
+            assert_eq!(solver.solve_with_assumptions(&[lit]), SolveResult::Unsat);
+            solver.stats().conflicts
+        })
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut n = Netlist::new();
+    let a = n.word_input("a", 10);
+    let b = n.word_input("b", 10);
+    let s1 = n.add(&a, &b);
+    let nb = n.neg(&b);
+    let s2 = n.sub(&a, &nb);
+    let m = n.mul(&a, &b);
+    let mut roots: Vec<_> = s1.bits().to_vec();
+    roots.extend_from_slice(s2.bits());
+    roots.extend_from_slice(&m.bits()[..10]);
+    c.bench_function("sat_sweep_redundant_adders", |b| {
+        b.iter(|| {
+            let r = sat_sweep(&n, &roots, SweepOptions::default());
+            r.merged
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets =
+    bench_softfloat_fma,
+    bench_netlist_sim,
+    bench_fpu_construction,
+    bench_bdd_adder,
+    bench_sat_adder_equiv,
+    bench_sweep,
+
+}
+criterion_main!(benches);

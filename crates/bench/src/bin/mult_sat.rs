@@ -1,0 +1,56 @@
+//! **Experiment S5b — the multiply instruction by SAT**.
+//!
+//! Paper: "Multiplication took only 5 minutes. ... We used satisfiability
+//! checking for the verification of the multiply instruction. After the
+//! multiplier is removed from the cone-of-influence, the only difficult
+//! aspect of the proof is the possible denormalization. Verification of
+//! this is possible without case-splitting because the SAT solver and
+//! redundancy removal techniques are able to identify structural
+//! similarities between the denormalization shifters in the real and the
+//! reference FPU."
+
+use fmaverify::{summarize, verify_instruction, RunOptions};
+use fmaverify_bench::{banner, bench_config, compare, dur};
+use fmaverify_fpu::FpuOp;
+
+fn main() {
+    banner("mult_sat", "§5: multiply verified by one SAT run, no case split");
+    let cfg = bench_config();
+
+    // Without sweeping.
+    let plain = verify_instruction(&cfg, FpuOp::Mul, &RunOptions::default());
+    println!("plain:   {}", summarize(&plain));
+    assert!(plain.all_hold());
+
+    // With redundancy removal first (the paper's configuration).
+    let swept = verify_instruction(
+        &cfg,
+        FpuOp::Mul,
+        &RunOptions {
+            sweep_before_sat: true,
+            ..RunOptions::default()
+        },
+    );
+    println!("swept:   {}", summarize(&swept));
+    assert!(swept.all_hold());
+
+    println!();
+    compare(
+        "multiply needs exactly one case",
+        "no case-splitting",
+        &format!("{} case(s)", plain.results.len()),
+        plain.results.len() == 1,
+    );
+    compare(
+        "discharged by SAT",
+        "satisfiability checking",
+        &format!("engine {:?}", plain.results[0].engine),
+        plain.results[0].engine == fmaverify::Engine::Sat,
+    );
+    compare(
+        "denormalization handled in-solver",
+        "5 minutes total",
+        &format!("{} / {} (plain/swept)", dur(plain.accumulated), dur(swept.accumulated)),
+        true,
+    );
+}

@@ -1,0 +1,105 @@
+//! **Experiment T1 — Table 1**: BDD nodes and runtimes per instruction and
+//! case class.
+//!
+//! The paper reports, for a double-precision industrial FPU on 1.7 GHz
+//! POWER4 machines:
+//!
+//! ```text
+//! Instr.  Case                      nodes avg/max [1e6]   time avg/max [min]
+//! add     overlap w/ cancellation        0.2 / 0.4             3 / 5
+//! add     overlap w/o cancellation       0.3 / 0.5             3 / 4
+//! add     far-out                        n/a                   - / 12
+//! mult    n/a                            n/a                   - / 5
+//! FMA     overlap w/ cancellation        6.9 / 26.0            8 / 24
+//! FMA     overlap w/o cancellation       2.1 / 4.7             5 / 10
+//! FMA     far-out                        n/a                   - / 53
+//! ```
+//!
+//! Absolute values are not comparable (their substrate is a 15k-line VHDL
+//! FPU, ours a scaled-down gate-level model); the *shape* is: FMA cases are
+//! several times heavier than add cases, cancellation cases have the worst
+//! peaks, far-out/mult are SAT-only (n/a nodes), and the far-out SAT run is
+//! the slowest single job.
+
+use fmaverify::{render_table1, summarize, table1_rows, verify_instruction, RunOptions};
+use fmaverify_bench::{banner, bench_config, compare, dur};
+use fmaverify_fpu::FpuOp;
+
+fn main() {
+    banner("table1", "Table 1: BDD nodes and runtimes for the double-precision cases");
+    let cfg = bench_config();
+    let mut reports = Vec::new();
+    for op in [FpuOp::Add, FpuOp::Mul, FpuOp::Fma] {
+        let report = verify_instruction(&cfg, op, &RunOptions::default());
+        println!("{}", summarize(&report));
+        assert!(report.all_hold(), "verification failed: {:?}", report.first_failure());
+        reports.push(report);
+    }
+    println!("\n{}", render_table1(&table1_rows(&reports)));
+
+    // Shape checks against the paper.
+    let rows = table1_rows(&reports);
+    let find = |op: FpuOp, class: fmaverify::CaseClass| {
+        rows.iter().find(|r| r.op == op && r.class == class)
+    };
+    use fmaverify::CaseClass::*;
+    let fma_wc = find(FpuOp::Fma, OverlapWithCancellation).expect("row");
+    let fma_nc = find(FpuOp::Fma, OverlapNoCancellation).expect("row");
+    let add_wc = find(FpuOp::Add, OverlapWithCancellation).expect("row");
+    let add_nc = find(FpuOp::Add, OverlapNoCancellation).expect("row");
+    let fma_fo = find(FpuOp::Fma, FarOut).expect("row");
+    let mult = find(FpuOp::Mul, Monolithic).expect("row");
+
+    println!("shape comparison with the paper's Table 1:");
+    compare(
+        "FMA peak nodes > add peak nodes",
+        "26.0e6 vs 0.4e6",
+        &format!(
+            "{} vs {}",
+            fma_wc.nodes_max.unwrap_or(0),
+            add_wc.nodes_max.unwrap_or(0)
+        ),
+        fma_wc.nodes_max >= add_wc.nodes_max,
+    );
+    compare(
+        "cancellation peak >= no-cancellation peak (FMA)",
+        "26.0e6 vs 4.7e6",
+        &format!(
+            "{} vs {}",
+            fma_wc.nodes_max.unwrap_or(0),
+            fma_nc.nodes_max.unwrap_or(0)
+        ),
+        fma_wc.nodes_max >= fma_nc.nodes_max,
+    );
+    compare(
+        "far-out & mult rows are SAT (nodes n/a)",
+        "n/a",
+        &format!(
+            "{} / {}",
+            fma_fo.nodes_avg.map_or("n/a".into(), |v| v.to_string()),
+            mult.nodes_avg.map_or("n/a".into(), |v| v.to_string())
+        ),
+        fma_fo.nodes_avg.is_none() && mult.nodes_avg.is_none(),
+    );
+    compare(
+        "far-out is the slowest FMA job",
+        "53 min vs 24 min",
+        &format!("{} vs {}", dur(fma_fo.time_max), dur(fma_wc.time_max)),
+        fma_fo.time_max >= fma_wc.time_max,
+    );
+    compare(
+        "add cases cheaper than FMA cases (avg time)",
+        "3 min vs 8 min",
+        &format!("{} vs {}", dur(add_nc.time_avg), dur(fma_nc.time_avg)),
+        add_nc.time_avg <= fma_nc.time_avg,
+    );
+    let add_total: std::time::Duration = reports[0].accumulated;
+    let mul_total = reports[1].accumulated;
+    let fma_total = reports[2].accumulated;
+    compare(
+        "accumulated: mult << add << FMA",
+        "5 min / 16 h / 73 h",
+        &format!("{} / {} / {}", dur(mul_total), dur(add_total), dur(fma_total)),
+        mul_total <= add_total && add_total <= fma_total,
+    );
+}

@@ -1,0 +1,79 @@
+//! Shared support for the experiment-regeneration binaries.
+//!
+//! Every binary in this crate regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index). The floating-point format is scaled
+//! down by default so a full sweep runs on one machine; set
+//! `FMAVERIFY_EXP`/`FMAVERIFY_FRAC` to change it, or `FMAVERIFY_FULL_DP=1`
+//! to run the selected experiment at IEEE double precision (slow).
+
+#![warn(missing_docs)]
+
+use fmaverify_fpu::{DenormalMode, FpuConfig};
+use fmaverify_softfloat::FpFormat;
+
+/// The benchmark format, from the environment (default 4-bit exponent,
+/// 4-bit fraction; `FMAVERIFY_FULL_DP=1` selects binary64).
+pub fn bench_format() -> FpFormat {
+    if std::env::var_os("FMAVERIFY_FULL_DP").is_some() {
+        return FpFormat::DOUBLE;
+    }
+    let exp = env_u32("FMAVERIFY_EXP", 4);
+    let frac = env_u32("FMAVERIFY_FRAC", 4);
+    FpFormat::new(exp, frac)
+}
+
+/// The benchmark configuration (flush-to-zero unless `FMAVERIFY_FULL_IEEE`
+/// is set).
+pub fn bench_config() -> FpuConfig {
+    FpuConfig {
+        format: bench_format(),
+        denormals: if std::env::var_os("FMAVERIFY_FULL_IEEE").is_some() {
+            DenormalMode::FullIeee
+        } else {
+            DenormalMode::FlushToZero
+        },
+    }
+}
+
+/// Reads a `u32` from the environment with a default.
+pub fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a standard experiment header.
+pub fn banner(experiment: &str, paper_ref: &str) {
+    let cfg = bench_config();
+    println!("================================================================");
+    println!("experiment: {experiment}");
+    println!("paper:      {paper_ref}");
+    println!(
+        "format:     ({}, {}) {:?}",
+        cfg.format.exp_bits(),
+        cfg.format.frac_bits(),
+        cfg.denormals
+    );
+    println!("================================================================\n");
+}
+
+/// Formats a duration compactly.
+pub fn dur(d: std::time::Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    }
+}
+
+/// A paper-vs-measured comparison line for EXPERIMENTS.md.
+pub fn compare(label: &str, paper: &str, measured: &str, shape_holds: bool) {
+    println!(
+        "  {:<44} paper: {:<22} measured: {:<22} [{}]",
+        label,
+        paper,
+        measured,
+        if shape_holds { "shape OK" } else { "MISMATCH" }
+    );
+}

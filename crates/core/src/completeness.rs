@@ -1,0 +1,88 @@
+//! Completeness of the case split (paper Section 4): "The disjunction of
+//! all the cases is easily provable as a tautology, guaranteeing
+//! completeness of our methodology."
+//!
+//! Two obligations are discharged by SAT:
+//!
+//! 1. the δ-level split (far-out ∪ all overlap δ) covers every input, and
+//! 2. the `C_sha` split (every shift amount plus the `rest` case) covers
+//!    every value of the reference FPU's shift-amount signal.
+
+use std::time::{Duration, Instant};
+
+use fmaverify_fpu::{FpuConfig, FpuOp};
+
+use crate::cases::enumerate_cases;
+use crate::engine_sat::prove_tautology;
+use crate::harness::{build_harness, HarnessOptions};
+
+/// Result of the completeness proof.
+#[derive(Clone, Debug)]
+pub struct CompletenessResult {
+    /// The δ partition covers the whole input space.
+    pub delta_split_complete: bool,
+    /// The sha partition covers all shift amounts.
+    pub sha_split_complete: bool,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+impl CompletenessResult {
+    /// True iff both obligations hold.
+    pub fn holds(&self) -> bool {
+        self.delta_split_complete && self.sha_split_complete
+    }
+}
+
+/// Proves the completeness of the case split for one instruction.
+pub fn prove_completeness(cfg: &FpuConfig, op: FpuOp) -> CompletenessResult {
+    let start = Instant::now();
+    let mut harness = build_harness(cfg, HarnessOptions::default());
+    let cases = enumerate_cases(cfg, op);
+    let disjunction = harness.cases_disjunction(op, &cases);
+    let (delta_ok, _) = prove_tautology(&harness.netlist, disjunction);
+    let sha_all = harness.sha_cases_complete();
+    let (sha_ok, _) = prove_tautology(&harness.netlist, sha_all);
+    CompletenessResult {
+        delta_split_complete: delta_ok,
+        sha_split_complete: sha_ok,
+        duration: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmaverify_fpu::DenormalMode;
+    use fmaverify_softfloat::FpFormat;
+
+    #[test]
+    fn micro_split_is_complete() {
+        for mode in [DenormalMode::FlushToZero, DenormalMode::FullIeee] {
+            let cfg = FpuConfig {
+                format: FpFormat::MICRO,
+                denormals: mode,
+            };
+            for op in [FpuOp::Fma, FpuOp::Add, FpuOp::Mul] {
+                let r = prove_completeness(&cfg, op);
+                assert!(r.holds(), "op {op:?} mode {mode:?}: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_a_delta_breaks_completeness() {
+        let cfg = FpuConfig {
+            format: FpFormat::MICRO,
+            denormals: DenormalMode::FlushToZero,
+        };
+        let mut harness = build_harness(&cfg, HarnessOptions::default());
+        let mut cases = enumerate_cases(&cfg, FpuOp::Fma);
+        // Remove one overlap δ entirely.
+        cases.retain(|c| !matches!(c, crate::cases::CaseId::OverlapNoCancel { delta: 3 }));
+        let disjunction = harness.cases_disjunction(FpuOp::Fma, &cases);
+        let (ok, witness) = prove_tautology(&harness.netlist, disjunction);
+        assert!(!ok, "an incomplete split must be detected");
+        assert!(witness.is_some());
+    }
+}

@@ -1,0 +1,84 @@
+//! `fmaverify` — automatic formal verification of fused-multiply-add FPUs.
+//!
+//! A from-scratch reproduction of Jacobi, Weber, Paruthi & Baumgartner,
+//! *Automatic Formal Verification of Fused-Multiply-Add FPUs* (DATE 2005).
+//! The crate verifies a gate-level implementation FPU against a simple
+//! reference FPU derived from the architectural specification, using only
+//! automatic engines:
+//!
+//! * [`harness`] — the driver: both FPUs in one netlist, a miter over their
+//!   results and flags, multiplier isolation via constrained `S'`,`T'`
+//!   pseudo-inputs (Figure 1);
+//! * [`cases`] — the 586-case split at double precision (δ cases, `C_sha`
+//!   sub-cases, far-out), and the quadratic §6 extension for denormal
+//!   operands;
+//! * [`engine_bdd`] / [`engine_sat`] — BDD symbolic simulation with
+//!   care-set minimization, and structural SAT;
+//! * [`order`] — the paper's static variable orders;
+//! * [`isolation`] — the multiplier-isolation soundness obligation and the
+//!   automatic derivation of the implementation-specific `S'`,`T'` rules;
+//! * [`completeness`] — the tautology proof that the case split covers the
+//!   whole input space;
+//! * [`runner`] / [`report`] — parallel case execution and Table-1-style
+//!   aggregation;
+//! * [`cec`] — combinational equivalence checking via SAT sweeping;
+//! * [`mutate`] — fault injection for verifying the verifier.
+//!
+//! # Examples
+//!
+//! Verify the multiply instruction of a tiny-format FPU end to end:
+//!
+//! ```
+//! use fmaverify::{verify_instruction, RunOptions};
+//! use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
+//! use fmaverify_softfloat::FpFormat;
+//!
+//! let cfg = FpuConfig {
+//!     format: FpFormat::new(3, 2),
+//!     denormals: DenormalMode::FlushToZero,
+//! };
+//! let report = verify_instruction(&cfg, FpuOp::Mul, &RunOptions::default());
+//! assert!(report.all_hold());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod cec;
+pub mod completeness;
+pub mod engine_bdd;
+pub mod engine_bdd_seq;
+pub mod engine_sat;
+pub mod harness;
+pub mod isolation;
+pub mod mutate;
+pub mod order;
+pub mod report;
+pub mod runner;
+pub mod semi_formal;
+pub mod sequential;
+
+// Re-export the companion crates' primary types so downstream users can
+// depend on `fmaverify` alone.
+pub use fmaverify_fpu::{DenormalMode, FpuConfig, FpuInputs, FpuOp, MultiplierMode, PipelineMode};
+pub use fmaverify_softfloat::{FpFormat, RoundingMode};
+
+pub use cases::{cancellation_deltas, enumerate_cases, CaseClass, CaseId, ShaCase};
+pub use cec::{check_equivalence, import_netlist, CecResult};
+pub use completeness::{prove_completeness, CompletenessResult};
+pub use engine_bdd::{check_miter_bdd, check_miter_bdd_parts, BddEngineOptions, BddOutcome, Minimize};
+pub use engine_bdd_seq::check_miter_bdd_sequential;
+pub use engine_sat::{check_miter_sat, check_miter_sat_parts, prove_tautology, SatEngineOptions, SatOutcome};
+pub use harness::{
+    architected_delta, build_harness, multiplier_property, Harness, HarnessOptions, StConstant,
+};
+pub use isolation::{derive_st_constants, derive_st_constants_for, prove_multiplier_soundness, prove_multiplier_soundness_for, SoundnessResult};
+pub use mutate::{inject_fault, random_fault, Mutation, MutationKind};
+pub use order::{naive_order, paper_order};
+pub use report::{render_table1, summarize, table1_rows, TableRow};
+pub use semi_formal::{semi_formal_check, SemiFormalOutcome};
+pub use sequential::{unroll_harness, UnrolledHarness};
+pub use runner::{
+    engine_for_case, run_cases, run_single_case, verify_instruction, CaseResult, CounterExample,
+    Engine, InstructionReport, RunOptions,
+};

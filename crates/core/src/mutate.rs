@@ -1,0 +1,212 @@
+//! Netlist fault injection for verifying the verifier.
+//!
+//! The paper's methodology exposed "dozens of high-quality bugs"; to show
+//! our reproduction has the same bug-finding power, these mutators inject
+//! single-gate faults into a netlist (polarity flips, gate-type swaps, stuck
+//! nodes), after which the verification flow must produce a counterexample.
+
+use fmaverify_netlist::{Netlist, Node, NodeId, Signal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The kind of single-gate fault to inject.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MutationKind {
+    /// Invert the output of the gate.
+    InvertOutput,
+    /// Invert the first operand edge.
+    InvertInputA,
+    /// Turn the AND into an OR of the same operands.
+    AndToOr,
+    /// Turn the AND into an XOR of the same operands.
+    AndToXor,
+    /// Replace the gate by its first operand (a missing-logic bug).
+    PassThroughA,
+}
+
+impl MutationKind {
+    /// All mutation kinds.
+    pub const ALL: [MutationKind; 5] = [
+        MutationKind::InvertOutput,
+        MutationKind::InvertInputA,
+        MutationKind::AndToOr,
+        MutationKind::AndToXor,
+        MutationKind::PassThroughA,
+    ];
+}
+
+/// A performed mutation, for reporting.
+#[derive(Clone, Copy, Debug)]
+pub struct Mutation {
+    /// The mutated AND node (in the original netlist's numbering).
+    pub node: NodeId,
+    /// The fault kind.
+    pub kind: MutationKind,
+}
+
+/// Rebuilds `netlist` with a single fault injected at `target` (which must
+/// be an AND node). Outputs, probes, inputs, and latches are preserved by
+/// name and order, so signals can be looked up as before.
+///
+/// # Panics
+/// Panics if `target` is not an AND node.
+pub fn inject_fault(netlist: &Netlist, target: NodeId, kind: MutationKind) -> Netlist {
+    assert!(
+        matches!(netlist.node(target), Node::And(..)),
+        "mutation target must be an AND gate"
+    );
+    let mut out = Netlist::new();
+    let mut remap: Vec<Signal> = vec![Signal::FALSE; netlist.num_nodes()];
+    for id in netlist.node_ids() {
+        let new_sig = match netlist.node(id) {
+            Node::Const => Signal::FALSE,
+            Node::Input { name } => out.input(name.clone()),
+            Node::Latch { init, .. } => out.latch(*init),
+            Node::And(a, b) => {
+                let la = apply(&remap, *a);
+                let lb = apply(&remap, *b);
+                if id == target {
+                    match kind {
+                        MutationKind::InvertOutput => {
+                            let g = out.and(la, lb);
+                            !g
+                        }
+                        MutationKind::InvertInputA => out.and(!la, lb),
+                        MutationKind::AndToOr => out.or(la, lb),
+                        MutationKind::AndToXor => out.xor(la, lb),
+                        MutationKind::PassThroughA => la,
+                    }
+                } else {
+                    out.and(la, lb)
+                }
+            }
+        };
+        remap[id.index()] = new_sig;
+    }
+    for &l in netlist.latches() {
+        if let Node::Latch { next, connected, .. } = netlist.node(l) {
+            if *connected {
+                let nn = apply(&remap, *next);
+                out.set_latch_next(remap[l.index()], nn);
+            }
+        }
+    }
+    for (name, sig) in netlist.outputs() {
+        let s = apply(&remap, *sig);
+        out.output(name.clone(), s);
+    }
+    for name in netlist.probe_names() {
+        let sig = netlist.find_probe(name).expect("probe exists");
+        let s = apply(&remap, sig);
+        out.probe(name.to_string(), s);
+    }
+    out
+}
+
+/// Picks a random AND node inside the cone of `within` and injects a random
+/// fault. Returns the mutated netlist and a description of the fault.
+pub fn random_fault(
+    netlist: &Netlist,
+    within: &[Signal],
+    seed: u64,
+) -> (Netlist, Mutation) {
+    let cone = netlist.comb_cone(within);
+    let candidates: Vec<NodeId> = netlist
+        .node_ids()
+        .filter(|id| cone[id.index()] && matches!(netlist.node(*id), Node::And(..)))
+        .collect();
+    assert!(!candidates.is_empty(), "cone contains no AND gates");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let node = candidates[rng.gen_range(0..candidates.len())];
+    let kind = MutationKind::ALL[rng.gen_range(0..MutationKind::ALL.len())];
+    (
+        inject_fault(netlist, node, kind),
+        Mutation { node, kind },
+    )
+}
+
+#[inline]
+fn apply(remap: &[Signal], sig: Signal) -> Signal {
+    let body = remap[sig.node().index()];
+    if sig.is_inverted() {
+        !body
+    } else {
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmaverify_netlist::BitSim;
+
+    #[test]
+    fn mutation_changes_function() {
+        let mut n = Netlist::new();
+        let a = n.word_input("a", 4);
+        let b = n.word_input("b", 4);
+        let s = n.add(&a, &b);
+        for (i, &bit) in s.bits().iter().enumerate() {
+            n.output(format!("s[{i}]"), bit);
+        }
+        let (mutated, mutation) = random_fault(&n, s.bits(), 99);
+        assert!(matches!(
+            n.node(mutation.node),
+            fmaverify_netlist::Node::And(..)
+        ));
+        // Some input pattern must now disagree with the original.
+        let mut diff = false;
+        'outer: for va in 0..16u128 {
+            for vb in 0..16u128 {
+                let mut s0 = BitSim::new(&n);
+                let mut s1 = BitSim::new(&mutated);
+                for i in 0..4 {
+                    let na = format!("a[{i}]");
+                    let nb = format!("b[{i}]");
+                    s0.set(n.find_input(&na).expect("input"), va >> i & 1 == 1);
+                    s0.set(n.find_input(&nb).expect("input"), vb >> i & 1 == 1);
+                    s1.set(mutated.find_input(&na).expect("input"), va >> i & 1 == 1);
+                    s1.set(mutated.find_input(&nb).expect("input"), vb >> i & 1 == 1);
+                }
+                s0.eval();
+                s1.eval();
+                for i in 0..4 {
+                    let name = format!("s[{i}]");
+                    let o0 = n.find_output(&name).expect("output");
+                    let o1 = mutated.find_output(&name).expect("output");
+                    if s0.get(o0) != s1.get(o1) {
+                        diff = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(diff, "the fault must be observable on some input");
+    }
+
+    #[test]
+    fn all_kinds_apply() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let g = n.and(a, b);
+        n.output("g", g);
+        for kind in MutationKind::ALL {
+            let m = inject_fault(&n, g.node(), kind);
+            let out = m.find_output("g").expect("output");
+            let mut sim = BitSim::new(&m);
+            sim.set(m.find_input("a").expect("a"), true);
+            sim.set(m.find_input("b").expect("b"), true);
+            sim.eval();
+            let v = sim.get(out);
+            let expect = match kind {
+                MutationKind::InvertOutput => false,
+                MutationKind::InvertInputA => false,
+                MutationKind::AndToOr => true,
+                MutationKind::AndToXor => false,
+                MutationKind::PassThroughA => true,
+            };
+            assert_eq!(v, expect, "{kind:?}");
+        }
+    }
+}

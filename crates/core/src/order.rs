@@ -1,0 +1,158 @@
+//! Static BDD variable orders (paper Section 5).
+//!
+//! "The superior orders are intuitively derivable: the operand exponents
+//! come first, followed by the fractions intertwined with the pseudo-inputs
+//! S' and T' for the multiplier override; the fractions and S' and T' are
+//! aligned according to the δ of each individual run." This module derives
+//! exactly those orders from the harness, parameterized by the case's δ.
+
+use fmaverify_netlist::Signal;
+
+use crate::harness::Harness;
+
+/// The paper's static variable order for a given case δ (`None` for far-out
+/// or δ-independent runs).
+pub fn paper_order(harness: &Harness, delta: Option<i64>) -> Vec<Signal> {
+    let cfg = &harness.cfg;
+    let f = cfg.format.frac_bits() as usize;
+    let eb = cfg.format.exp_bits() as usize;
+    let mut order = Vec::new();
+
+    let a = &harness.inputs.a;
+    let b = &harness.inputs.b;
+    let c = &harness.inputs.c;
+
+    // Exponents first, interleaved MSB-down.
+    for k in (0..eb).rev() {
+        order.push(a.bit(f + k));
+        order.push(b.bit(f + k));
+        order.push(c.bit(f + k));
+    }
+    // Control: signs, opcode, rounding mode.
+    order.push(a.bit(f + eb));
+    order.push(b.bit(f + eb));
+    order.push(c.bit(f + eb));
+    order.extend(harness.inputs.op.bits().iter().copied());
+    order.extend(harness.inputs.rm.bits().iter().copied());
+
+    // Fractions and S'/T', aligned by δ: the addend fraction bit that lands
+    // at product position k is c[k - f + δ].
+    let d = delta.unwrap_or(0);
+    match &harness.st {
+        Some((s, t)) => {
+            let wwin = cfg.window_bits();
+            // a/b fractions only feed the classification predicates when the
+            // multiplier is overridden; keep them right after the control
+            // block, interleaved.
+            for k in (0..f).rev() {
+                order.push(a.bit(k));
+                order.push(b.bit(k));
+            }
+            // S'/T' interleaved MSB-down with the aligned addend fraction.
+            for k in (0..wwin).rev() {
+                order.push(s.bit(k));
+                order.push(t.bit(k));
+                // S index k corresponds to addend fraction bit k - f + δ
+                // (including the implicit bit position f, which is not an
+                // input; input fraction bits are 0..f).
+                let j = k as i64 - f as i64 + d;
+                if (0..f as i64).contains(&j) {
+                    order.push(c.bit(j as usize));
+                }
+            }
+            // Any addend bits not placed (far-out δ) go at the bottom.
+            for k in (0..f).rev() {
+                order.push(c.bit(k));
+            }
+        }
+        None => {
+            // Real-multiplier runs (e.g. the add instruction): interleave
+            // all three fractions, with c offset by δ.
+            for k in (0..(2 * f + 2)).rev() {
+                let ka = k as i64 - (f as i64);
+                if (0..f as i64).contains(&ka) {
+                    order.push(a.bit(ka as usize));
+                    order.push(b.bit(ka as usize));
+                }
+                let j = k as i64 - f as i64 + d;
+                if (0..f as i64).contains(&j) {
+                    order.push(c.bit(j as usize));
+                }
+            }
+            for k in (0..f).rev() {
+                order.push(a.bit(k));
+                order.push(b.bit(k));
+                order.push(c.bit(k));
+            }
+        }
+    }
+    // Deduplicate, keeping first occurrences.
+    let mut seen = std::collections::HashSet::new();
+    order.retain(|s| seen.insert(*s));
+    order
+}
+
+/// A deliberately naive order: all inputs in creation order (operands
+/// low-bit-first, S'/T' last). The ordering ablation contrasts this with
+/// [`paper_order`].
+pub fn naive_order(harness: &Harness) -> Vec<Signal> {
+    let mut order: Vec<Signal> = Vec::new();
+    for &id in harness.netlist.inputs() {
+        order.push(harness.netlist.signal(id));
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{build_harness, HarnessOptions};
+    use fmaverify_fpu::{DenormalMode, FpuConfig};
+    use fmaverify_softfloat::FpFormat;
+
+    #[test]
+    fn order_covers_all_inputs_exactly_once() {
+        let cfg = FpuConfig {
+            format: FpFormat::MICRO,
+            denormals: DenormalMode::FlushToZero,
+        };
+        for isolate in [true, false] {
+            let h = build_harness(
+                &cfg,
+                HarnessOptions {
+                    isolate_multiplier: isolate,
+                    ..HarnessOptions::default()
+                },
+            );
+            for delta in [None, Some(-2), Some(0), Some(5)] {
+                let order = paper_order(&h, delta);
+                let mut sorted: Vec<Signal> = order.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), order.len(), "duplicates in order");
+                // Every operand input is present; st inputs too when isolated.
+                let expected: usize = h.netlist.inputs().len();
+                assert_eq!(order.len(), expected, "delta {delta:?} isolate {isolate}");
+            }
+        }
+    }
+
+    #[test]
+    fn exponents_lead_the_order() {
+        let cfg = FpuConfig {
+            format: FpFormat::MICRO,
+            denormals: DenormalMode::FlushToZero,
+        };
+        let h = build_harness(&cfg, HarnessOptions::default());
+        let order = paper_order(&h, Some(0));
+        let f = cfg.format.frac_bits() as usize;
+        let eb = cfg.format.exp_bits() as usize;
+        // The first 3*eb entries are exponent bits.
+        for sig in order.iter().take(3 * eb) {
+            let found = [&h.inputs.a, &h.inputs.b, &h.inputs.c]
+                .iter()
+                .any(|w| (f..f + eb).any(|k| w.bit(k) == *sig));
+            assert!(found, "expected exponent bit at the top of the order");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Case orchestration: builds the constraints for every case of an
+//! instruction, dispatches each to the appropriate engine (SAT for far-out
+//! and multiply, BDD symbolic simulation for the overlap cases), runs them
+//! in parallel, and collects per-case statistics — the paper's regression
+//! that "takes less than a day when running 10 jobs in parallel".
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use fmaverify_fpu::{FpuConfig, FpuOp};
+use fmaverify_netlist::{BitSim, Netlist, Signal};
+
+use crate::cases::{enumerate_cases, CaseClass, CaseId};
+use crate::engine_bdd::{check_miter_bdd_parts, BddEngineOptions, Minimize};
+use crate::engine_sat::{check_miter_sat_parts, SatEngineOptions};
+use crate::harness::{build_harness, Harness, HarnessOptions};
+use crate::order::paper_order;
+
+/// Which engine discharged a case.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// BDD-based symbolic simulation.
+    Bdd,
+    /// SAT (structural satisfiability on the unfolded netlist).
+    Sat,
+}
+
+/// A counterexample decoded back to operand values.
+#[derive(Clone, Debug)]
+pub struct CounterExample {
+    /// Raw input assignment by input name.
+    pub assignment: HashMap<String, bool>,
+    /// Operand A bits.
+    pub a: u128,
+    /// Operand B bits.
+    pub b: u128,
+    /// Operand C bits.
+    pub c: u128,
+    /// Opcode.
+    pub op: u32,
+    /// Rounding-mode code.
+    pub rm: u32,
+}
+
+/// Per-case verification result.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// The case.
+    pub case: CaseId,
+    /// The instruction.
+    pub op: FpuOp,
+    /// The engine used.
+    pub engine: Engine,
+    /// Whether the case held.
+    pub holds: bool,
+    /// Counterexample on failure.
+    pub counterexample: Option<CounterExample>,
+    /// Peak BDD nodes (BDD engine only).
+    pub bdd_peak_nodes: Option<usize>,
+    /// SAT conflicts (SAT engine only).
+    pub sat_conflicts: Option<u64>,
+    /// Wall-clock time for this case.
+    pub duration: Duration,
+}
+
+/// Options for an instruction-level verification run.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Harness construction options.
+    pub harness: HarnessOptions,
+    /// BDD minimization strategy.
+    pub minimize: Minimize,
+    /// Threads for the parallel case run (0 = all available).
+    pub threads: usize,
+    /// Run redundancy removal before SAT cases.
+    pub sweep_before_sat: bool,
+    /// Garbage-collection threshold for the BDD engine.
+    pub gc_threshold: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            harness: HarnessOptions::default(),
+            minimize: Minimize::Constrain,
+            threads: 0,
+            sweep_before_sat: false,
+            gc_threshold: 2_000_000,
+        }
+    }
+}
+
+/// Aggregate report for one instruction.
+#[derive(Clone, Debug)]
+pub struct InstructionReport {
+    /// The instruction.
+    pub op: FpuOp,
+    /// All per-case results.
+    pub results: Vec<CaseResult>,
+    /// Total wall-clock time (parallel).
+    pub wall: Duration,
+    /// Sum of per-case times (the paper's "accumulated run-time").
+    pub accumulated: Duration,
+}
+
+impl InstructionReport {
+    /// True iff every case held.
+    pub fn all_hold(&self) -> bool {
+        self.results.iter().all(|r| r.holds)
+    }
+
+    /// The first failing case, if any.
+    pub fn first_failure(&self) -> Option<&CaseResult> {
+        self.results.iter().find(|r| !r.holds)
+    }
+
+    /// Results belonging to one Table-1 class.
+    pub fn class_results(&self, class: CaseClass) -> Vec<&CaseResult> {
+        self.results
+            .iter()
+            .filter(|r| r.case.class() == class)
+            .collect()
+    }
+}
+
+/// Chooses the paper's engine assignment for a case.
+pub fn engine_for_case(op: FpuOp, case: CaseId) -> Engine {
+    match (op, case) {
+        // "Satisfiability checking was used to verify the far-out cases";
+        // the multiply instruction is SAT end to end.
+        (FpuOp::Mul, _) | (_, CaseId::FarOut) | (_, CaseId::Monolithic) => Engine::Sat,
+        _ => Engine::Bdd,
+    }
+}
+
+/// The δ a case fixes, for order derivation.
+fn case_delta(case: CaseId) -> Option<i64> {
+    match case {
+        CaseId::Monolithic | CaseId::FarOut => None,
+        CaseId::OverlapNoCancel { delta } => Some(delta),
+        CaseId::OverlapCancel { delta, .. } => Some(delta),
+    }
+}
+
+/// Verifies one instruction across all of its cases.
+///
+/// Constraints for all cases are materialized in the shared netlist first;
+/// the per-case checks then run in parallel over the read-only netlist.
+pub fn verify_instruction(cfg: &FpuConfig, op: FpuOp, options: &RunOptions) -> InstructionReport {
+    let start = Instant::now();
+    let mut harness = build_harness(cfg, options.harness.clone());
+    let cases = enumerate_cases(cfg, op);
+    let constraints: Vec<(CaseId, Vec<Signal>)> = cases
+        .iter()
+        .map(|&case| (case, harness.case_constraint_parts(op, case)))
+        .collect();
+    let results = run_cases(&harness, op, &constraints, options);
+    let accumulated = results.iter().map(|r| r.duration).sum();
+    InstructionReport {
+        op,
+        results,
+        wall: start.elapsed(),
+        accumulated,
+    }
+}
+
+/// Runs pre-built `(case, constraint)` pairs in parallel on the harness.
+pub fn run_cases(
+    harness: &Harness,
+    op: FpuOp,
+    constraints: &[(CaseId, Vec<Signal>)],
+    options: &RunOptions,
+) -> Vec<CaseResult> {
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        options.threads
+    };
+    let jobs = std::sync::Mutex::new(constraints.iter().enumerate());
+    let results = std::sync::Mutex::new(vec![None; constraints.len()]);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(constraints.len()).max(1) {
+            scope.spawn(|_| loop {
+                let job = { jobs.lock().expect("jobs lock").next() };
+                let Some((idx, (case, constraint))) = job else {
+                    break;
+                };
+                let r = run_single_case(harness, op, *case, constraint, options);
+                results.lock().expect("results lock")[idx] = Some(r);
+            });
+        }
+    })
+    .expect("case worker panicked");
+    results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|r| r.expect("all jobs completed"))
+        .collect()
+}
+
+/// Runs one case with the engine the paper assigns to it.
+pub fn run_single_case(
+    harness: &Harness,
+    op: FpuOp,
+    case: CaseId,
+    constraint_parts: &[Signal],
+    options: &RunOptions,
+) -> CaseResult {
+    let engine = engine_for_case(op, case);
+    let start = Instant::now();
+    match engine {
+        Engine::Sat => {
+            let out = check_miter_sat_parts(
+                &harness.netlist,
+                harness.miter,
+                constraint_parts,
+                &SatEngineOptions {
+                    sweep_first: options.sweep_before_sat,
+                    conflict_budget: None,
+                },
+            );
+            CaseResult {
+                case,
+                op,
+                engine,
+                holds: out.holds,
+                counterexample: out
+                    .counterexample
+                    .map(|c| decode_cex(harness, c)),
+                bdd_peak_nodes: None,
+                sat_conflicts: Some(out.stats.conflicts),
+                duration: start.elapsed(),
+            }
+        }
+        Engine::Bdd => {
+            let order = paper_order(harness, case_delta(case));
+            let out = check_miter_bdd_parts(
+                &harness.netlist,
+                harness.miter,
+                constraint_parts,
+                &BddEngineOptions {
+                    minimize: options.minimize,
+                    order,
+                    gc_threshold: options.gc_threshold,
+                    node_limit: None,
+                },
+            );
+            CaseResult {
+                case,
+                op,
+                engine,
+                holds: out.holds,
+                counterexample: out
+                    .counterexample
+                    .map(|c| decode_cex(harness, c)),
+                bdd_peak_nodes: Some(out.peak_nodes),
+                sat_conflicts: None,
+                duration: start.elapsed(),
+            }
+        }
+    }
+}
+
+/// Decodes a raw name→bit counterexample into operand words, and replays it
+/// against the netlist to confirm the miter really fires.
+fn decode_cex(harness: &Harness, assignment: HashMap<String, bool>) -> CounterExample {
+    let get_word = |prefix: &str, width: usize| -> u128 {
+        (0..width)
+            .map(|i| {
+                u128::from(
+                    assignment
+                        .get(&format!("{prefix}[{i}]"))
+                        .copied()
+                        .unwrap_or(false),
+                ) << i
+            })
+            .sum()
+    };
+    let w = harness.cfg.format.width() as usize;
+    let cex = CounterExample {
+        a: get_word("a", w),
+        b: get_word("b", w),
+        c: get_word("c", w),
+        op: get_word("op", 3) as u32,
+        rm: get_word("rm", 2) as u32,
+        assignment,
+    };
+    // Replay: a counterexample that does not reproduce is an engine bug.
+    let mut sim = BitSim::new(&harness.netlist);
+    for (name, value) in &cex.assignment {
+        if let Some(sig) = harness.netlist.find_input(name) {
+            sim.set(sig, *value);
+        }
+    }
+    sim.eval();
+    debug_assert!(
+        sim.get(harness.miter),
+        "counterexample failed to replay on the miter"
+    );
+    cex
+}
+
+impl CounterExample {
+    /// Renders the counterexample as a VCD waveform of every output and
+    /// probe of `netlist` (inputs held for `cycles` cycles — use the
+    /// pipeline latency + 1 for sequential implementations).
+    pub fn to_vcd(&self, netlist: &Netlist, cycles: usize) -> String {
+        let assignment: Vec<(String, bool)> = self
+            .assignment
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        fmaverify_netlist::dump_counterexample(netlist, &assignment, cycles)
+    }
+}
+
+/// Replays a counterexample on a netlist, returning the miter value.
+pub fn replay(netlist: &Netlist, miter: Signal, assignment: &HashMap<String, bool>) -> bool {
+    let mut sim = BitSim::new(netlist);
+    for (name, value) in assignment {
+        if let Some(sig) = netlist.find_input(name) {
+            sim.set(sig, *value);
+        }
+    }
+    sim.eval();
+    sim.get(miter)
+}

@@ -1,0 +1,218 @@
+//! Semi-formal validation: constraint-satisfying stimulus generation.
+//!
+//! The paper validates the design "without the multiplier overrides or
+//! case-splits using simulation and semi-formal methods". This module is
+//! the semi-formal leg: the SAT solver is used as a *stimulus generator* —
+//! each query returns a model of the case constraint, decision phases are
+//! re-randomized between queries and previous models are blocked, so the
+//! samples spread across the constrained space. The miter is then checked
+//! by concrete simulation on every sample: not a proof, but a
+//! coverage-directed search that reaches corners uniform random stimulus
+//! cannot (e.g. a specific δ and normalization shift).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use fmaverify_netlist::{BitSim, Netlist, Node, SatEncoder, Signal};
+use fmaverify_sat::{Lit, SolveResult, Solver};
+
+/// Result of a semi-formal run.
+#[derive(Clone, Debug)]
+pub struct SemiFormalOutcome {
+    /// Number of constraint-satisfying vectors simulated.
+    pub vectors: usize,
+    /// The first miter-violating vector found, if any.
+    pub failure: Option<HashMap<String, bool>>,
+    /// True when the constraint space was exhausted before `count` samples
+    /// (every satisfying assignment was enumerated and simulated).
+    pub exhausted: bool,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+/// Draws up to `count` distinct samples satisfying all `constraint_parts`
+/// and simulates `miter` on each.
+///
+/// Blocking clauses are added over the primary inputs, so every returned
+/// vector is distinct; if the constraint space is smaller than `count`, the
+/// run is exhaustive over it (and `exhausted` is set — the semi-formal
+/// search degenerated into a complete one).
+pub fn semi_formal_check(
+    netlist: &Netlist,
+    miter: Signal,
+    constraint_parts: &[Signal],
+    count: usize,
+    seed: u64,
+) -> SemiFormalOutcome {
+    let start = Instant::now();
+    let mut solver = Solver::new();
+    let mut enc = SatEncoder::new();
+    let assumptions: Vec<Lit> = constraint_parts
+        .iter()
+        .map(|&p| enc.lit(netlist, &mut solver, p))
+        .collect();
+    // Make sure every primary input is encoded so models cover all of them
+    // and blocking clauses pin complete vectors.
+    let input_lits: Vec<(String, Lit)> = netlist
+        .inputs()
+        .iter()
+        .map(|&id| {
+            let name = match netlist.node(id) {
+                Node::Input { name } => name.clone(),
+                _ => unreachable!(),
+            };
+            (name, enc.lit(netlist, &mut solver, netlist.signal(id)))
+        })
+        .collect();
+
+    let mut sim = BitSim::new(netlist);
+    let mut vectors = 0;
+    let mut failure = None;
+    let mut exhausted = false;
+    for k in 0..count {
+        solver.randomize_polarities(seed.wrapping_add(k as u64).wrapping_mul(0x9e37_79b9));
+        match solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Unsat => {
+                exhausted = true;
+                break;
+            }
+            SolveResult::Unknown => unreachable!("no budget configured"),
+            SolveResult::Sat => {}
+        }
+        // Extract, simulate, and block this vector.
+        let mut vector = HashMap::new();
+        let mut blocking = Vec::with_capacity(input_lits.len());
+        for (name, lit) in &input_lits {
+            let v = solver.model_lit_value(*lit).is_true();
+            vector.insert(name.clone(), v);
+            blocking.push(if v { !*lit } else { *lit });
+            sim.set(
+                netlist.find_input(name).expect("input exists"),
+                v,
+            );
+        }
+        sim.eval();
+        vectors += 1;
+        debug_assert!(
+            constraint_parts.iter().all(|&p| sim.get(p)),
+            "SAT model violates the constraint in simulation"
+        );
+        if sim.get(miter) {
+            failure = Some(vector);
+            break;
+        }
+        solver.add_clause(&blocking);
+    }
+    SemiFormalOutcome {
+        vectors,
+        failure,
+        exhausted,
+        duration: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::CaseId;
+    use crate::harness::{build_harness, HarnessOptions};
+    use crate::mutate::{inject_fault, MutationKind};
+    use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
+    use fmaverify_softfloat::FpFormat;
+
+    fn tiny() -> FpuConfig {
+        FpuConfig {
+            format: FpFormat::new(3, 2),
+            denormals: DenormalMode::FlushToZero,
+        }
+    }
+
+    #[test]
+    fn clean_design_survives_semi_formal() {
+        let mut h = build_harness(&tiny(), HarnessOptions::default());
+        let parts = h.case_constraint_parts(FpuOp::Fma, CaseId::OverlapNoCancel { delta: 2 });
+        let out = semi_formal_check(&h.netlist, h.miter, &parts, 200, 7);
+        assert!(out.failure.is_none());
+        assert!(out.vectors > 50, "expected many distinct samples, got {}", out.vectors);
+    }
+
+    #[test]
+    fn samples_are_distinct_and_on_constraint() {
+        let mut h = build_harness(&tiny(), HarnessOptions::default());
+        let parts = h.case_constraint_parts(FpuOp::Fma, CaseId::OverlapNoCancel { delta: 0 });
+        // Use the constraint itself as a "miter" that never fires, and count
+        // distinct vectors via the blocking mechanism.
+        let out = semi_formal_check(&h.netlist, Signal::FALSE, &parts, 64, 3);
+        assert_eq!(out.vectors, 64, "blocking must yield distinct samples");
+        assert!(!out.exhausted);
+    }
+
+    #[test]
+    fn small_space_is_exhausted() {
+        // A constraint with a tiny solution space: op fixed and a == b == c
+        // == 0 except one free bit.
+        let mut n = Netlist::new();
+        let x = n.word_input("x", 3);
+        let c = {
+            let k = n.word_const(3, 2);
+            n.ult(&x, &k) // x in {0, 1}
+        };
+        let out = semi_formal_check(&n, Signal::FALSE, &[c], 100, 1);
+        assert_eq!(out.vectors, 2);
+        assert!(out.exhausted);
+    }
+
+    #[test]
+    fn finds_planted_bug_within_its_case() {
+        let mut h = build_harness(
+            &tiny(),
+            HarnessOptions {
+                isolate_multiplier: false,
+                ..HarnessOptions::default()
+            },
+        );
+        let case = CaseId::OverlapNoCancel { delta: 1 };
+        let parts = h.case_constraint_parts(FpuOp::Fma, case);
+        for (i, p) in parts.iter().enumerate() {
+            h.netlist.probe(format!("sf#{i}"), *p);
+        }
+        // Find a fault observable under this very constraint by trying
+        // candidates until the semi-formal search trips one.
+        let impl_cone = h
+            .netlist
+            .comb_cone(&h.impl_fpu.outputs.result.bits().to_vec());
+        let ref_cone = h
+            .netlist
+            .comb_cone(&h.ref_fpu.outputs.result.bits().to_vec());
+        let candidates: Vec<_> = h
+            .netlist
+            .node_ids()
+            .filter(|id| {
+                impl_cone[id.index()]
+                    && !ref_cone[id.index()]
+                    && matches!(h.netlist.node(*id), Node::And(..))
+            })
+            .collect();
+        let mut found = false;
+        for (k, &target) in candidates.iter().enumerate().step_by(11) {
+            let mutated = inject_fault(&h.netlist, target, MutationKind::InvertOutput);
+            let miter = mutated.find_output("miter").expect("miter");
+            let parts: Vec<Signal> = (0..parts.len())
+                .map(|i| mutated.find_probe(&format!("sf#{i}")).expect("probe"))
+                .collect();
+            let out = semi_formal_check(&mutated, miter, &parts, 300, k as u64);
+            if let Some(vector) = out.failure {
+                // Replay.
+                let mut sim = BitSim::new(&mutated);
+                for (name, v) in &vector {
+                    sim.set(mutated.find_input(name).expect("input"), *v);
+                }
+                sim.eval();
+                assert!(sim.get(miter));
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no candidate fault was exposed by semi-formal search");
+    }
+}

@@ -1,0 +1,148 @@
+//! Verification of pipelined implementations.
+//!
+//! The paper's targets are "multi-GHz industrial implementation models"
+//! with "aggressive pipelining, clocking, etc."; because a floating-point
+//! computation completes in a bounded number of steps, verification "may be
+//! cast as a bounded check". This module realizes that: the two-FPU harness
+//! (combinational reference, pipelined clock-gated implementation) is
+//! unrolled for the pipeline latency with the operands held — the analogue
+//! of the paper's driver issuing a single instruction into an empty FPU —
+//! and the cycle-`L` miter is checked by the same BDD/SAT engines.
+
+use fmaverify_fpu::{FpuOp, PipelineMode};
+use fmaverify_netlist::{unroll, InputMode, Netlist, Signal};
+
+use crate::cases::CaseId;
+use crate::harness::Harness;
+
+/// A harness unrolled to its pipeline latency: a purely combinational
+/// netlist whose miter compares the reference result against the
+/// implementation's output registers at the result-valid cycle.
+#[derive(Debug)]
+pub struct UnrolledHarness {
+    /// The combinational unrolled netlist.
+    pub netlist: Netlist,
+    /// The miter at the result-valid cycle.
+    pub miter: Signal,
+    /// The pipeline latency that was unrolled.
+    pub latency: usize,
+}
+
+/// Unrolls a pipelined harness and returns, for each requested case, the
+/// constraint parts re-located in the unrolled netlist (constraints are
+/// functions of the held operands, so their cycle-0 copies are used).
+///
+/// # Panics
+/// Panics if the harness was built combinationally (nothing to unroll).
+pub fn unroll_harness(
+    harness: &mut Harness,
+    op: FpuOp,
+    cases: &[CaseId],
+) -> (UnrolledHarness, Vec<(CaseId, Vec<Signal>)>) {
+    let latency = harness.options().pipeline.latency();
+    assert!(
+        harness.options().pipeline != PipelineMode::Combinational,
+        "combinational harnesses need no unrolling"
+    );
+    // Materialize the constraint parts as named probes so they survive the
+    // unroll (which rebuilds the netlist).
+    let mut probe_names: Vec<(CaseId, Vec<String>)> = Vec::new();
+    for &case in cases {
+        let parts = harness.case_constraint_parts(op, case);
+        let mut names = Vec::new();
+        for (i, p) in parts.iter().enumerate() {
+            let name = format!("seq.{op:?}.{}#{i}", case.label());
+            harness.netlist.probe(&name, *p);
+            names.push(name);
+        }
+        probe_names.push((case, names));
+    }
+
+    let unrolled = unroll(&harness.netlist, latency + 1, InputMode::HoldFirst);
+    let netlist = unrolled.netlist;
+    let miter = netlist
+        .find_output(&format!("miter@{latency}"))
+        .expect("unrolled miter output");
+    let constraints: Vec<(CaseId, Vec<Signal>)> = probe_names
+        .into_iter()
+        .map(|(case, names)| {
+            let parts = names
+                .iter()
+                .map(|n| {
+                    netlist
+                        .find_probe(&format!("{n}@0"))
+                        .expect("unrolled constraint probe")
+                })
+                .collect();
+            (case, parts)
+        })
+        .collect();
+    (
+        UnrolledHarness {
+            netlist,
+            miter,
+            latency,
+        },
+        constraints,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::enumerate_cases;
+    use crate::engine_bdd::{check_miter_bdd_parts, BddEngineOptions};
+    use crate::engine_sat::{check_miter_sat_parts, SatEngineOptions};
+    use crate::harness::{build_harness, HarnessOptions};
+    use fmaverify_fpu::{DenormalMode, FpuConfig};
+    use fmaverify_softfloat::FpFormat;
+
+    #[test]
+    fn pipelined_fma_verifies_by_unrolling() {
+        let cfg = FpuConfig {
+            format: FpFormat::new(3, 2),
+            denormals: DenormalMode::FlushToZero,
+        };
+        let mut harness = build_harness(
+            &cfg,
+            HarnessOptions {
+                pipeline: PipelineMode::ThreeStage,
+                ..HarnessOptions::default()
+            },
+        );
+        assert!(harness.netlist.num_latches() > 0);
+        let cases = enumerate_cases(&cfg, FpuOp::Fma);
+        let (u, constraints) = unroll_harness(&mut harness, FpuOp::Fma, &cases);
+        assert_eq!(u.latency, 3);
+        assert_eq!(u.netlist.num_latches(), 0, "the unrolled model is combinational");
+        for (case, parts) in &constraints {
+            let holds = match case {
+                CaseId::FarOut | CaseId::Monolithic => {
+                    check_miter_sat_parts(&u.netlist, u.miter, parts, &SatEngineOptions::default())
+                        .holds
+                }
+                _ => {
+                    check_miter_bdd_parts(
+                        &u.netlist,
+                        u.miter,
+                        parts,
+                        &BddEngineOptions::default(),
+                    )
+                    .holds
+                }
+            };
+            assert!(holds, "pipelined case {case:?} failed");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn combinational_harness_rejects_unroll() {
+        let cfg = FpuConfig {
+            format: FpFormat::MICRO,
+            denormals: DenormalMode::FlushToZero,
+        };
+        let mut harness = build_harness(&cfg, HarnessOptions::default());
+        let _ = unroll_harness(&mut harness, FpuOp::Fma, &[CaseId::FarOut]);
+    }
+}

@@ -1,0 +1,688 @@
+//! The implementation ("real") FPU.
+//!
+//! A gate-level FMA datapath in the style the paper verifies: radix-4 Booth
+//! multiplier reduced by a 3:2 compressor tree to sum/carry vectors `S`,`T`
+//! (with hot-one artifacts), an alignment shifter placing the addend against
+//! the product window, a carry-save merge and end-around-carry-style adder
+//! whose late `+1` is applied by a separate incrementer, normalization-shift
+//! *anticipation* from the early one's-complement value with a one-position
+//! mis-anticipation correction, a bounded normalization shifter (denormal
+//! results), an injection-style rounder with one-hot mode decode, opcode
+//! decoding, and (optionally) pipeline registers with data-dependent clock
+//! gating of the multiplier stage.
+//!
+//! It computes the same function as the reference FPU but shares none of its
+//! structure — which is exactly why the paper needs case-splitting and
+//! multiplier isolation rather than plain redundancy removal.
+
+use fmaverify_netlist::{Netlist, Signal, Word};
+
+use crate::booth::{booth_multiply, compress_3_2};
+use crate::config::{DenormalMode, FpuConfig, FpuInputs, FpuOutputs};
+use crate::lza::lzc_tree;
+
+/// Where the implementation FPU's multiplier vectors come from.
+#[derive(Clone, Debug)]
+pub enum MultiplierMode {
+    /// Build the real Booth multiplier.
+    Real,
+    /// Build a plain AND-array (non-Booth) multiplier — a second
+    /// implementation variant for the portability experiment.
+    RealArray,
+    /// Override `S`,`T` with the given words (the paper's Figure 1: the
+    /// multiplier array is never built, so it is absent from the cone of
+    /// influence). Words must be `window_bits()` wide and satisfy
+    /// `(S + T) mod 2^window_bits == significand product`.
+    Override {
+        /// The pseudo-input sum vector `S'`.
+        s: Word,
+        /// The pseudo-input carry vector `T'`.
+        t: Word,
+    },
+}
+
+/// Pipelining of the implementation FPU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PipelineMode {
+    /// Pure combinational datapath.
+    Combinational,
+    /// Three register stages (after multiply/align, after add, after round),
+    /// with the multiplier-stage registers clock-gated off when the far-out
+    /// left path makes the product irrelevant. Results are valid three
+    /// cycles after issue.
+    ThreeStage,
+}
+
+impl PipelineMode {
+    /// Cycles from operand application to a valid result.
+    pub fn latency(self) -> usize {
+        match self {
+            PipelineMode::Combinational => 0,
+            PipelineMode::ThreeStage => 3,
+        }
+    }
+}
+
+/// Handles into the built implementation FPU.
+#[derive(Clone, Debug)]
+pub struct ImplFpu {
+    /// Result and flag outputs.
+    pub outputs: FpuOutputs,
+    /// The multiplier sum vector `S` actually consumed by the datapath
+    /// (real or override). Probe prefix `impl.s`.
+    pub s: Word,
+    /// The multiplier carry vector `T`. Probe prefix `impl.t`.
+    pub t: Word,
+    /// The significand inputs feeding the multiplier (`ma`, `mb`), needed by
+    /// the isolation soundness proof.
+    pub ma: Word,
+    /// Multiplier operand B significand.
+    pub mb: Word,
+    /// The anticipated (pre-correction) normalization shift.
+    pub sha_anticipated: Word,
+    /// The one-position mis-anticipation correction signal.
+    pub correction: Signal,
+    /// The multiplier clock-gating control (pipeline mode only; constant
+    /// true in combinational mode).
+    pub mult_clock_enable: Signal,
+}
+
+/// Inserts a pipeline stage over a set of words if pipelining is on;
+/// `enable` models clock gating (registers hold when disabled).
+fn stage(n: &mut Netlist, pipeline: PipelineMode, enable: Signal, words: &mut [&mut Word]) {
+    if pipeline == PipelineMode::Combinational {
+        return;
+    }
+    for w in words {
+        let bits: Vec<Signal> = w
+            .bits()
+            .iter()
+            .map(|&b| {
+                let q = n.latch(false);
+                let d = n.mux(enable, b, q);
+                n.set_latch_next(q, d);
+                q
+            })
+            .collect();
+        **w = Word::from_bits(bits);
+    }
+}
+
+/// Builds the implementation FPU over the shared inputs.
+pub fn build_impl_fpu(
+    n: &mut Netlist,
+    cfg: &FpuConfig,
+    inputs: &FpuInputs,
+    multiplier: MultiplierMode,
+    pipeline: PipelineMode,
+) -> ImplFpu {
+    let f = cfg.format.frac_bits() as usize;
+    let eb = cfg.format.exp_bits() as usize;
+    let w_total = cfg.format.width() as usize;
+    let bias = cfg.format.bias() as i64;
+    let wexp = cfg.exp_arith_bits();
+    let wwin = cfg.window_bits();
+
+    // ---------------- operand field extraction (one-hot style) -----------
+    let fields = |w: &Word| -> (Word, Word, Signal) {
+        (w.slice(0, f), w.slice(f, f + eb), w.bit(f + eb))
+    };
+    let op_oh = n.decode_one_hot(&inputs.op); // [fma, fms, add, mul, fnma, fnms, -, -]
+    let is_fms = n.or(op_oh.bit(1), op_oh.bit(5));
+    let is_add = op_oh.bit(2);
+    let is_mul = op_oh.bit(3);
+    let neg_result = n.or(op_oh.bit(4), op_oh.bit(5));
+    let rm_oh = n.decode_one_hot(&inputs.rm); // [rne, rtz, rtp, rtn]
+
+    let one_w = n.word_const(w_total, cfg.format.one(false));
+    let zero_w = n.word_const(w_total, 0);
+    let b_raw = n.mux_word(is_add, &one_w, &inputs.b);
+    let c_raw = n.mux_word(is_mul, &zero_w, &inputs.c);
+
+    struct Op {
+        sign: Signal,
+        nan: Signal,
+        snan: Signal,
+        inf: Signal,
+        zero: Signal,
+        sig: Word,
+        exp: Word,
+    }
+    let mut dec = |raw: &Word| -> Op {
+        let (frac, exp, sign) = fields(raw);
+        let any_frac = n.or_reduce(&frac);
+        let all_exp = n.and_reduce(&exp);
+        let any_exp = n.or_reduce(&exp);
+        let nan = n.and(all_exp, any_frac);
+        let snan = n.and(nan, !frac.bit(f - 1));
+        let inf = n.and(all_exp, !any_frac);
+        let zero = match cfg.denormals {
+            DenormalMode::FlushToZero => !any_exp,
+            DenormalMode::FullIeee => {
+                let z = n.or(any_exp, any_frac);
+                !z
+            }
+        };
+        let implicit = n.and(any_exp, !all_exp);
+        let keep = match cfg.denormals {
+            DenormalMode::FlushToZero => implicit,
+            DenormalMode::FullIeee => Signal::TRUE,
+        };
+        let mut sig_bits: Vec<Signal> =
+            frac.bits().iter().map(|&b| n.and(b, keep)).collect();
+        sig_bits.push(implicit);
+        // Effective biased exponent: OR the denormal/zero case up to 1.
+        let low_or = n.or(exp.bit(0), !any_exp);
+        let mut exp_bits = exp.bits().to_vec();
+        exp_bits[0] = low_or;
+        Op {
+            sign,
+            nan,
+            snan,
+            inf,
+            zero,
+            sig: Word::from_bits(sig_bits),
+            exp: Word::from_bits(exp_bits),
+        }
+    };
+    let oa = dec(&inputs.a);
+    let ob = dec(&b_raw);
+    let oc = dec(&c_raw);
+
+    let sc = n.xor(oc.sign, is_fms);
+    let sp = n.xor(oa.sign, ob.sign);
+    let eff_sub = n.xor(sp, sc);
+
+    // ---------------- exponent datapath ----------------------------------
+    let ea = n.zext(&oa.exp, wexp);
+    let ebw = n.zext(&ob.exp, wexp);
+    let ecw = n.zext(&oc.exp, wexp);
+    // r = ea + eb - ec + (f + 3 - bias), folded into one constant.
+    let k_align = (f as i64 + 3 - bias) as i128;
+    let k_word = n.word_const(wexp, (k_align & ((1i128 << wexp) - 1)) as u128);
+    let ea_eb = n.add(&ea, &ebw);
+    let ea_eb_k = n.add(&ea_eb, &k_word);
+    let r_align = n.sub(&ea_eb_k, &ecw); // = delta + f + 3
+    // eint (biased, window-top weight) for the product-anchored window:
+    //   ep_biased + f + 3 = r_align + ec - bias + bias = r_align + ec ... one
+    //   more constant fold: eint_prod = ea + eb + (f + 3 - bias) - 0.
+    let eint_prod = ea_eb_k.clone();
+
+    // Far-out-left detection: r_align < 0 means delta < -(f+3).
+    let c_zero = oc.zero;
+    let far_left = {
+        let neg = r_align.msb();
+        n.and(neg, !c_zero)
+    };
+
+    // Alignment shift clamp to [0, 3f+5].
+    let rmax_c = n.word_const(wexp, (3 * f + 5) as u128);
+    let r_over = {
+        let gt = n.slt(&rmax_c, &r_align);
+        n.and(gt, !r_align.msb())
+    };
+    let zero_e = n.word_const(wexp, 0);
+    let r_sel = {
+        let t = n.mux_word(r_over, &rmax_c, &r_align);
+        n.mux_word(r_align.msb(), &zero_e, &t)
+    };
+    let shift_bits = usize::BITS as usize - (4 * f + 7).leading_zeros() as usize;
+    let r_small = r_sel.truncate(shift_bits.min(wexp));
+
+    let xzone = f + 2;
+    let wext = wwin + xzone;
+    let addend_parked = {
+        let zeros = n.word_const(xzone + 2 * f + 4, 0);
+        zeros.concat(&oc.sig)
+    };
+    let addend_aligned = n.lshr_var(&addend_parked, &r_small);
+    let sticky_align = {
+        let z = addend_aligned.slice(0, xzone);
+        n.or_reduce(&z)
+    };
+    let ac_win = addend_aligned.slice(xzone, wext);
+
+    // ---------------- multiplier ------------------------------------------
+    let ma = oa.sig.clone();
+    let mb = ob.sig.clone();
+    let (s_vec, t_vec) = match &multiplier {
+        MultiplierMode::Real => booth_multiply(n, &ma, &mb, wwin),
+        MultiplierMode::RealArray => crate::booth::array_multiply(n, &ma, &mb, wwin),
+        MultiplierMode::Override { s, t } => {
+            assert_eq!(s.width(), wwin, "S' must be window_bits wide");
+            assert_eq!(t.width(), wwin, "T' must be window_bits wide");
+            (s.clone(), t.clone())
+        }
+    };
+    for (i, &b) in s_vec.bits().iter().enumerate() {
+        n.probe(format!("impl.s[{i}]"), b);
+    }
+    for (i, &b) in t_vec.bits().iter().enumerate() {
+        n.probe(format!("impl.t[{i}]"), b);
+    }
+    let prod_nonzero = {
+        // S + T == 0 mod 2^wwin  <=>  S == -T  <=>  S == ~T + 1; detect via
+        // the carry-save zero trick: (S ^ T) == (S | T) << 1.
+        let x = n.xor_word(&s_vec, &t_vec);
+        let o = n.or_word(&s_vec, &t_vec);
+        let o1 = n.shl_const(&o, 1);
+        let eq = n.eq_word(&x, &o1);
+        !eq
+    };
+
+    // ---------------- pipeline stage 1 (multiply/align) ------------------
+    // The multiplier-stage registers are clock-gated off when the far-left
+    // path makes the product irrelevant (data-dependent clock gating).
+    let mult_clock_enable = match pipeline {
+        PipelineMode::Combinational => Signal::TRUE,
+        PipelineMode::ThreeStage => !far_left,
+    };
+    let mut s_vec = s_vec;
+    let mut t_vec = t_vec;
+    stage(n, pipeline, mult_clock_enable, &mut [&mut s_vec, &mut t_vec]);
+    let mut ac_win = ac_win;
+    let mut eint_prod_p = eint_prod.clone();
+    let mut ecw_p = ecw.clone();
+    let mut sticky_align = Word::from_bits(vec![sticky_align]);
+    // Issue-time copies for the special-case logic, which is resolved at
+    // stage 0 (the stage-1 names are shadowed below).
+    let sp_issue = sp;
+    let sc_issue = sc;
+    let mut ctrl1 = Word::from_bits(vec![
+        far_left,
+        eff_sub,
+        sp,
+        sc,
+        prod_nonzero,
+        c_zero,
+    ]);
+    stage(
+        n,
+        pipeline,
+        Signal::TRUE,
+        &mut [
+            &mut ac_win,
+            &mut eint_prod_p,
+            &mut ecw_p,
+            &mut sticky_align,
+            &mut ctrl1,
+        ],
+    );
+    let far_left = ctrl1.bit(0);
+    let eff_sub = ctrl1.bit(1);
+    let sp = ctrl1.bit(2);
+    let sc = ctrl1.bit(3);
+    let prod_nonzero = ctrl1.bit(4);
+    let sticky_align = sticky_align.bit(0);
+
+    // ---------------- carry-save merge and EAC-style adder ---------------
+    // Widen before shifting: the multiplier vectors are modular in wwin
+    // bits, and doubling them must carry the top bit into bit wwin so that
+    // the wwin+1-bit sum still equals product<<1 modulo 2^(wwin+1).
+    let s1 = {
+        let w = n.zext(&s_vec, wwin + 1);
+        n.shl_const(&w, 1)
+    };
+    let t1 = {
+        let w = n.zext(&t_vec, wwin + 1);
+        n.shl_const(&w, 1)
+    };
+    let acx = {
+        let a = n.zext(&ac_win, wwin + 1);
+        let inv = n.not_word(&a);
+        n.mux_word(eff_sub, &inv, &a)
+    };
+    let (cs_sum, cs_carry) = compress_3_2(n, &s1, &t1, &acx);
+    // The carry-propagate adder runs without the late +1; the increment is a
+    // separate (faster) circuit, and the pre-increment value feeds the
+    // normalization-shift anticipation.
+    let pre = n.add(&cs_sum, &cs_carry);
+    let cin = n.and(eff_sub, !sticky_align);
+    let sum_raw = {
+        let inc = n.inc(&pre);
+        n.mux_word(cin, &inc, &pre)
+    };
+    let sum_neg = sum_raw.msb();
+    let mag_overlap = {
+        let inv = n.not_word(&sum_raw);
+        let neg = n.inc(&inv);
+        n.mux_word(sum_neg, &neg, &sum_raw).truncate(wwin)
+    };
+    // Early one's-complement view for anticipation.
+    let early = {
+        let inv = n.not_word(&pre);
+        n.mux_word(sum_neg, &inv, &pre).truncate(wwin)
+    };
+
+    // Far-left parked-addend path.
+    let mag_far_left = {
+        let zeros = n.word_const(2 * f + 3, 0);
+        let parked = zeros.concat(&oc.sig);
+        let mut parked = n.zext(&parked, wwin);
+        stage(n, pipeline, Signal::TRUE, &mut [&mut parked]);
+        let one = n.word_const(wwin, 1);
+        let dec = n.sub(&parked, &one);
+        let use_dec = n.and(eff_sub, prod_nonzero);
+        n.mux_word(use_dec, &dec, &parked)
+    };
+
+    let mag = n.mux_word(far_left, &mag_far_left, &mag_overlap);
+    let early_sel = n.mux_word(far_left, &mag_far_left, &early);
+    let sticky_pre = {
+        let fl = n.and(far_left, prod_nonzero);
+        let ov = n.and(!far_left, sticky_align);
+        n.or(fl, ov)
+    };
+    let dp_sign = {
+        let ov = n.mux(sum_neg, sc, sp);
+        n.mux(far_left, sc, ov)
+    };
+    let eint = {
+        let one = n.word_const(wexp, 1);
+        let fl = n.add(&ecw_p, &one);
+        n.mux_word(far_left, &fl, &eint_prod_p)
+    };
+
+    // ---------------- normalization with anticipation --------------------
+    // Anticipated shift: leading zeros of the early value, minus one
+    // (guaranteeing the anticipation never overshoots), bounded by the
+    // exponent limit; a correction stage shifts one more when the window
+    // MSB is still clear.
+    let nlz_early = lzc_tree(n, &early_sel);
+    let nlz_w = n.zext(&nlz_early, wexp);
+    let one_c = n.word_const(wexp, 1);
+    let ant_raw = n.sub(&nlz_w, &one_c);
+    let zero_c = n.word_const(wexp, 0);
+    let ant = {
+        let neg = ant_raw.msb();
+        n.mux_word(neg, &zero_c, &ant_raw)
+    };
+    // limit = eint - 1, clamped at 0; negative limit means a right shift.
+    let limit_raw = n.sub(&eint, &one_c);
+    let limit_neg = limit_raw.msb();
+    let limit = n.mux_word(limit_neg, &zero_c, &limit_raw);
+    let ant_limited = {
+        let over = n.slt(&limit, &ant);
+        n.mux_word(over, &limit, &ant)
+    };
+    let norm_shift_bits = usize::BITS as usize - (wwin + 1).leading_zeros() as usize;
+    let ant_small = ant_limited.truncate(norm_shift_bits.min(wexp));
+
+    // ---------------- pipeline stage 2 (after add) -----------------------
+    let mut mag = mag;
+    let mut ant_limited = ant_limited;
+    let mut ant_small = ant_small;
+    let mut limit = limit;
+    let mut eint = eint;
+    let mut rshift_ctl = Word::from_bits(vec![limit_neg, dp_sign, sticky_pre]);
+    let mut limit_raw = limit_raw;
+    stage(
+        n,
+        pipeline,
+        Signal::TRUE,
+        &mut [
+            &mut mag,
+            &mut ant_limited,
+            &mut ant_small,
+            &mut limit,
+            &mut eint,
+            &mut rshift_ctl,
+            &mut limit_raw,
+        ],
+    );
+    let limit_neg = rshift_ctl.bit(0);
+    let dp_sign = rshift_ctl.bit(1);
+    let sticky_pre = rshift_ctl.bit(2);
+
+    let norm0 = n.shl_var(&mag, &ant_small);
+    // Mis-anticipation correction: one more position if the MSB is still
+    // clear and the limit allows.
+    let room = n.slt(&ant_limited, &limit);
+    let correction = {
+        let msb0 = !norm0.msb();
+        n.and(msb0, room)
+    };
+    let norm1 = {
+        let shifted = n.shl_const(&norm0, 1);
+        n.mux_word(correction, &shifted, &norm0)
+    };
+    let sha_total = {
+        let inc = n.inc(&ant_limited);
+        n.mux_word(correction, &inc, &ant_limited)
+    };
+
+    // Right-shift stage for eint < 1 (window top below emin).
+    let rshift_full = n.neg(&limit_raw);
+    let wwin_c = n.word_const(wexp, wwin as u128);
+    let r_toobig = n.slt(&wwin_c, &rshift_full);
+    let rsh = {
+        let t = n.mux_word(r_toobig, &wwin_c, &rshift_full);
+        n.mux_word(limit_neg, &t, &zero_c)
+    };
+    let rsh_small = rsh.truncate(norm_shift_bits.min(wexp));
+    let ext = {
+        let zeros = n.word_const(wwin, 0);
+        zeros.concat(&norm1)
+    };
+    let ext_sh = n.lshr_var(&ext, &rsh_small);
+    let norm = ext_sh.slice(wwin, 2 * wwin);
+    let sticky_rsh = {
+        let dropped = ext_sh.slice(0, wwin);
+        n.or_reduce(&dropped)
+    };
+
+    let e_res = {
+        let t = n.sub(&eint, &sha_total);
+        n.add(&t, &rsh)
+    };
+
+    // ---------------- rounder ---------------------------------------------
+    let sig = norm.slice(wwin - 1 - f, wwin);
+    let guard = norm.bit(wwin - 2 - f);
+    let sticky = {
+        let low = norm.slice(0, wwin - 2 - f);
+        let t = n.or_reduce(&low);
+        let t = n.or(t, sticky_pre);
+        n.or(t, sticky_rsh)
+    };
+    let inexact_pre = n.or(guard, sticky);
+    let lsb = sig.bit(0);
+    let round_up = {
+        let rne = {
+            let t = n.or(sticky, lsb);
+            let t = n.and(guard, t);
+            n.and(rm_oh.bit(0), t)
+        };
+        let rtp = {
+            let t = n.and(!dp_sign, inexact_pre);
+            n.and(rm_oh.bit(2), t)
+        };
+        let rtn = {
+            let t = n.and(dp_sign, inexact_pre);
+            n.and(rm_oh.bit(3), t)
+        };
+        let t = n.or(rne, rtp);
+        n.or(t, rtn)
+    };
+    let sig_x = n.zext(&sig, f + 2);
+    let sig_inc = n.inc(&sig_x);
+    let sig_r = n.mux_word(round_up, &sig_inc, &sig_x);
+    let carry_out = sig_r.bit(f + 1);
+    let sig_fin = {
+        let hi = n.lshr_const(&sig_r, 1).truncate(f + 1);
+        let lo = sig_r.truncate(f + 1);
+        n.mux_word(carry_out, &hi, &lo)
+    };
+    let e_fin = {
+        let inc = n.inc(&e_res);
+        n.mux_word(carry_out, &inc, &e_res)
+    };
+
+    let mag_zero = n.is_zero(&mag);
+    let exact_zero = n.and(mag_zero, !sticky_pre);
+    let tiny = n.and(!norm.msb(), !mag_zero);
+
+    let emax_c = n.word_const(wexp, ((1u128 << eb) - 2) as u128);
+    let overflow = {
+        let gt = n.slt(&emax_c, &e_fin);
+        n.and(gt, sig_fin.bit(f))
+    };
+
+    let sign_fin = n.mux(exact_zero, rm_oh.bit(3), dp_sign);
+    let packed = {
+        let biased = {
+            let t = e_fin.truncate(eb);
+            let z = n.word_const(eb, 0);
+            n.mux_word(sig_fin.bit(f), &t, &z)
+        };
+        let mut bits = sig_fin.truncate(f).bits().to_vec();
+        bits.extend_from_slice(biased.bits());
+        bits.push(sign_fin);
+        Word::from_bits(bits)
+    };
+    let to_inf = {
+        let rtp_inf = n.and(rm_oh.bit(2), !sign_fin);
+        let rtn_inf = n.and(rm_oh.bit(3), sign_fin);
+        let t = n.or(rm_oh.bit(0), rtp_inf);
+        n.or(t, rtn_inf)
+    };
+    let ovf_word = {
+        let inf = n.word_const(w_total, cfg.format.inf(false));
+        let max = n.word_const(w_total, cfg.format.max_finite(false));
+        let v = n.mux_word(to_inf, &inf, &max);
+        let mut bits = v.bits().to_vec();
+        bits[w_total - 1] = sign_fin;
+        Word::from_bits(bits)
+    };
+    let dp_result = n.mux_word(overflow, &ovf_word, &packed);
+
+    // ---------------- special cases ----------------------------------------
+    let any_nan = {
+        let t = n.or(oa.nan, ob.nan);
+        n.or(t, oc.nan)
+    };
+    let any_snan = {
+        let t = n.or(oa.snan, ob.snan);
+        n.or(t, oc.snan)
+    };
+    let p_inf = n.or(oa.inf, ob.inf);
+    let p_zero = n.or(oa.zero, ob.zero);
+    let inf_zero = {
+        let t1 = n.and(oa.inf, ob.zero);
+        let t2 = n.and(ob.inf, oa.zero);
+        n.or(t1, t2)
+    };
+    let sign_clash = n.xor(sp_issue, sc_issue);
+    let inf_inf = {
+        let t = n.and(p_inf, oc.inf);
+        n.and(t, sign_clash)
+    };
+    let nan_out = {
+        let t = n.or(any_nan, inf_zero);
+        n.or(t, inf_inf)
+    };
+    let inf_from_prod = n.and(p_inf, !nan_out);
+    let inf_from_add = {
+        let t = n.and(oc.inf, !p_inf);
+        n.and(t, !nan_out)
+    };
+    let bypass_c = {
+        let t = n.and(p_zero, !nan_out);
+        let t = n.and(t, !inf_from_prod);
+        n.and(t, !inf_from_add)
+    };
+    let both_zero = n.and(bypass_c, oc.zero);
+    let zz_sign = {
+        let same = n.xnor(sp_issue, sc_issue);
+        let diff = n.mux(is_mul, sp_issue, rm_oh.bit(3));
+        n.mux(same, sp_issue, diff)
+    };
+    let special = {
+        let t = n.or(nan_out, inf_from_prod);
+        let t = n.or(t, inf_from_add);
+        n.or(t, bypass_c)
+    };
+    let invalid = {
+        let hard = n.or(inf_zero, inf_inf);
+        let hard = n.and(hard, !any_nan);
+        n.or(hard, any_snan)
+    };
+    let special_word = {
+        let qnan = n.word_const(w_total, cfg.format.quiet_nan());
+        let inf = n.word_const(w_total, cfg.format.inf(false));
+        let c_signed = {
+            let mut bits = c_raw.bits().to_vec();
+            bits[w_total - 1] = sc_issue;
+            Word::from_bits(bits)
+        };
+        let zero_signed = {
+            let mut bits = vec![Signal::FALSE; w_total];
+            bits[w_total - 1] = zz_sign;
+            Word::from_bits(bits)
+        };
+        let inf_signed = {
+            let mut bits = inf.bits().to_vec();
+            bits[w_total - 1] = sp_issue;
+            Word::from_bits(bits)
+        };
+        let r = n.mux_word(both_zero, &zero_signed, &c_signed);
+        let r = n.mux_word(inf_from_prod, &inf_signed, &r);
+        n.mux_word(nan_out, &qnan, &r)
+    };
+    // The special path is resolved at issue; delay it to match the datapath.
+    let mut special_word = special_word;
+    let mut spec_ctl = Word::from_bits(vec![special, invalid, nan_out, neg_result]);
+    stage(n, pipeline, Signal::TRUE, &mut [&mut special_word, &mut spec_ctl]);
+    stage(n, pipeline, Signal::TRUE, &mut [&mut special_word, &mut spec_ctl]);
+    let special = spec_ctl.bit(0);
+    let invalid = spec_ctl.bit(1);
+    let spec_nan = spec_ctl.bit(2);
+    let neg_result = spec_ctl.bit(3);
+
+    // FNMA/FNMS negate every non-NaN result. `nan_out` is resolved at issue
+    // time; route it alongside the other special controls.
+    let result = {
+        let r = n.mux_word(special, &special_word, &dp_result);
+        let flip = n.and(neg_result, !spec_nan);
+        let mut bits = r.bits().to_vec();
+        let top = bits[w_total - 1];
+        bits[w_total - 1] = n.xor(top, flip);
+        Word::from_bits(bits)
+    };
+    let fl_inexact = {
+        let t = n.or(inexact_pre, overflow);
+        n.and(t, !special)
+    };
+    let fl_overflow = n.and(overflow, !special);
+    let fl_underflow = {
+        let t = n.and(tiny, inexact_pre);
+        n.and(t, !special)
+    };
+    let fl_invalid = n.and(invalid, special);
+    let flags = Word::from_bits(vec![fl_invalid, fl_overflow, fl_underflow, fl_inexact]);
+
+    // ---------------- pipeline stage 3 (after round) ----------------------
+    let mut result = result;
+    let mut flags = flags;
+    stage(n, pipeline, Signal::TRUE, &mut [&mut result, &mut flags]);
+
+    for (i, &b) in result.bits().iter().enumerate() {
+        n.output(format!("impl.result[{i}]"), b);
+    }
+    for (i, &b) in flags.bits().iter().enumerate() {
+        n.output(format!("impl.flags[{i}]"), b);
+    }
+    n.probe("impl.mult_clock_enable", mult_clock_enable);
+    n.probe("impl.correction", correction);
+
+    ImplFpu {
+        outputs: FpuOutputs { result, flags },
+        s: s_vec,
+        t: t_vec,
+        ma,
+        mb,
+        sha_anticipated: ant_limited,
+        correction,
+        mult_clock_enable,
+    }
+}

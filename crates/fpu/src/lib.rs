@@ -1,0 +1,21 @@
+//! The two FPU designs under verification: a word-level *reference* FPU (the
+//! paper's ~450-line specification model) and a gate-level *implementation*
+//! FPU (Booth multiplier, alignment shifter, end-around-carry adder,
+//! leading-zero anticipator, normalizer, rounder), plus a targeted test-case
+//! generator for the simulation-based portion of the methodology.
+
+#![warn(missing_docs)]
+
+mod booth;
+mod config;
+pub mod impl_fpu;
+mod lza;
+pub mod ref_fpu;
+pub mod tcgen;
+
+pub use booth::{array_multiply, booth_multiply, compress_3_2, csa_tree};
+pub use lza::lzc_tree;
+pub use config::{DenormalMode, FpuConfig, FpuInputs, FpuOp, FpuOutputs};
+pub use impl_fpu::{build_impl_fpu, ImplFpu, MultiplierMode, PipelineMode};
+pub use ref_fpu::{build_ref_fpu, ProductSource, RefFpu};
+pub use tcgen::{classify, Target, TestCase, TestCaseGenerator};

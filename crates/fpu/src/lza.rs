@@ -1,0 +1,162 @@
+//! Normalization-shift anticipation for the implementation FPU.
+//!
+//! The implementation FPU normalizes using a shift amount that is computed
+//! *before* the adder's late `+1` carry completes: the end-around-carry
+//! subtraction makes the one's-complement difference available early, and a
+//! tree-structured leading-zero detector runs on it. The completed sum can
+//! have one fewer leading zero than the early value (the increment can carry
+//! into the leading-one position), so the anticipated shift may overshoot
+//! the true normalization by exactly one position — the "shift-amount
+//! anticipation error" the paper attributes to the implementation's LZA —
+//! and the datapath applies a one-position mis-anticipation correction after
+//! the normalization shifter.
+//!
+//! Structurally this detector is a hierarchical half-and-half recursion,
+//! deliberately unlike the reference FPU's linear priority (mux-chain)
+//! leading-zero counter, so redundancy removal cannot collapse the two.
+
+use fmaverify_netlist::{Netlist, Signal, Word};
+
+/// Recursive block: returns `(all_zero, count_bits)` for a slice, where
+/// `count_bits` is the leading-zero count (valid when not `all_zero`; the
+/// all-zero case reports the full width via the parent's composition).
+fn lzc_block(n: &mut Netlist, bits: &[Signal]) -> (Signal, Vec<Signal>) {
+    match bits.len() {
+        1 => (!bits[0], Vec::new()),
+        _ => {
+            // Split so that the high half is the largest power of two not
+            // exceeding the width; the recursion then lines up with binary
+            // count digits.
+            let half = (bits.len() + 1) / 2;
+            let lo = &bits[..bits.len() - half];
+            let hi = &bits[bits.len() - half..];
+            let (hi_zero, hi_count) = lzc_block(n, hi);
+            let (lo_zero, lo_count) = lzc_block(n, lo);
+            let all_zero = n.and(hi_zero, lo_zero);
+            // count = hi_zero ? half + lo_count : hi_count
+            let width = hi_count.len().max(lo_count.len()) + 1;
+            let lo_word = Word::from_bits({
+                let mut v = lo_count;
+                v.resize(width, Signal::FALSE);
+                v
+            });
+            let half_word = n.word_const(width, half as u128);
+            let sum = n.add(&lo_word, &half_word);
+            let hi_word = Word::from_bits({
+                let mut v = hi_count;
+                v.resize(width, Signal::FALSE);
+                v
+            });
+            let count = n.mux_word(hi_zero, &sum, &hi_word);
+            (all_zero, count.bits().to_vec())
+        }
+    }
+}
+
+/// Tree-structured leading-zero counter: returns a word wide enough to hold
+/// `a.width()` (the all-zero count).
+pub fn lzc_tree(n: &mut Netlist, a: &Word) -> Word {
+    let w = a.width();
+    // Enough bits to represent the all-zero count `w` itself.
+    let out_w = (u32::BITS - (w as u32).leading_zeros()) as usize;
+    let (all_zero, count) = lzc_block(n, a.bits());
+    let mut count_word = Word::from_bits({
+        let mut v = count;
+        v.resize(out_w, Signal::FALSE);
+        v
+    });
+    let full = n.word_const(out_w, w as u128);
+    count_word = n.mux_word(all_zero, &full, &count_word);
+    count_word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmaverify_netlist::BitSim;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_lzc(w: usize, vals: impl Iterator<Item = u128>) {
+        let mut n = Netlist::new();
+        let a = n.word_input("a", w);
+        let c = lzc_tree(&mut n, &a);
+        let mut sim = BitSim::new(&n);
+        for v in vals {
+            sim.set_word(&a, v);
+            sim.eval();
+            let expect = if v == 0 {
+                w as u128
+            } else {
+                (w as u32 - (128 - v.leading_zeros())) as u128
+            };
+            assert_eq!(sim.get_word(&c), expect, "lzc of {v:#x} width {w}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_widths() {
+        for w in [1usize, 2, 3, 5, 8, 11] {
+            check_lzc(w, 0..1u128 << w);
+        }
+    }
+
+    #[test]
+    fn random_wide() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for w in [40usize, 61, 100] {
+            let mask = if w >= 128 { u128::MAX } else { (1u128 << w) - 1 };
+            let vals: Vec<u128> = (0..500)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        // bias toward long leading-zero runs
+                        (rng.gen::<u128>() & mask) >> rng.gen_range(0..w as u32)
+                    } else {
+                        rng.gen::<u128>() & mask
+                    }
+                })
+                .collect();
+            check_lzc(w, vals.into_iter());
+        }
+    }
+
+    #[test]
+    fn anticipation_error_is_at_most_one() {
+        // The anticipation contract: nlz(x) - nlz(x+1) is 0 or 1 for any
+        // nonzero x+1 — the property the mis-anticipation correction relies
+        // on. (Pure arithmetic fact; recorded here as the contract test.)
+        for w in [6u32, 10] {
+            for x in 0..(1u128 << w) - 1 {
+                let nlz = |v: u128| {
+                    if v == 0 {
+                        w
+                    } else {
+                        w - (128 - v.leading_zeros())
+                    }
+                };
+                let d = nlz(x) as i64 - nlz(x + 1) as i64;
+                assert!((0..=1).contains(&d), "x={x} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn structurally_different_from_chain_lzc() {
+        // The tree LZC and the word-level chain LZC compute the same
+        // function with different structure (so they do not structurally
+        // hash together).
+        let mut n = Netlist::new();
+        let a = n.word_input("a", 24);
+        let tree = lzc_tree(&mut n, &a);
+        let chain = n.count_leading_zeros(&a);
+        assert_ne!(tree.bits()[0], chain.bits()[0]);
+        let mut sim = BitSim::new(&n);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..300 {
+            let v = (rng.gen::<u128>() & 0xff_ffff) >> rng.gen_range(0..24);
+            sim.set_word(&a, v);
+            sim.eval();
+            assert_eq!(sim.get_word(&tree), sim.get_word(&chain), "v={v:#x}");
+        }
+    }
+}

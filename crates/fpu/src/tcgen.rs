@@ -1,0 +1,282 @@
+//! Targeted test-case generation (the paper's reference \[1\]: FPgen-style
+//! constrained-random stimulus).
+//!
+//! The methodology is "portable to simulation, emulation, semi-formal, and
+//! formal verification frameworks"; this module supplies the simulation leg:
+//! operand triples targeted at a chosen δ window, cancellation depth,
+//! denormal density, and special-value mix, so a simulation regression can
+//! steer into the same corners the case-splits carve out formally.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fmaverify_softfloat::{FpClass, FpFormat, RoundingMode};
+
+use crate::config::FpuOp;
+
+/// A generated stimulus vector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TestCase {
+    /// Operand A bits.
+    pub a: u128,
+    /// Operand B bits.
+    pub b: u128,
+    /// Operand C bits.
+    pub c: u128,
+    /// The instruction.
+    pub op: FpuOp,
+    /// The rounding mode.
+    pub rm: RoundingMode,
+}
+
+/// What the generator aims the operands at.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Target {
+    /// Uniformly random bit patterns.
+    Uniform,
+    /// A specific exponent difference δ = e_p − e_c (hits one alignment).
+    Delta(i64),
+    /// Effective subtraction with nearly-equal magnitudes (massive
+    /// cancellation, the normalization-shifter stress).
+    Cancellation,
+    /// At least one denormal operand (the §6 extension's corners).
+    DenormalOperands,
+    /// Results near the denormal boundary (partial normalization).
+    TinyResults,
+    /// NaN/infinity/zero special values.
+    Specials,
+}
+
+impl Target {
+    /// All targets, for mixed regressions.
+    pub const ALL: [Target; 6] = [
+        Target::Uniform,
+        Target::Delta(0),
+        Target::Cancellation,
+        Target::DenormalOperands,
+        Target::TinyResults,
+        Target::Specials,
+    ];
+}
+
+/// A deterministic targeted test-case generator.
+#[derive(Debug)]
+pub struct TestCaseGenerator {
+    format: FpFormat,
+    rng: StdRng,
+}
+
+impl TestCaseGenerator {
+    /// Creates a generator for `format` with a fixed seed (regressions are
+    /// reproducible).
+    pub fn new(format: FpFormat, seed: u64) -> TestCaseGenerator {
+        TestCaseGenerator {
+            format,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates one test case aimed at `target`.
+    pub fn generate(&mut self, target: Target) -> TestCase {
+        let op = FpuOp::ALL[self.rng.gen_range(0..FpuOp::ALL.len())];
+        let rm = RoundingMode::ALL[self.rng.gen_range(0..4)];
+        let (a, b, c) = match target {
+            Target::Uniform => (self.any(), self.any(), self.any()),
+            Target::Delta(delta) => self.with_delta(delta),
+            Target::Cancellation => self.cancellation(),
+            Target::DenormalOperands => {
+                let mut ops = [self.any(), self.any(), self.any()];
+                let which = self.rng.gen_range(0..3);
+                ops[which] = self.denormal();
+                (ops[0], ops[1], ops[2])
+            }
+            Target::TinyResults => self.tiny_result(),
+            Target::Specials => {
+                let mut ops = [self.any(), self.any(), self.any()];
+                let which = self.rng.gen_range(0..3);
+                ops[which] = self.special();
+                (ops[0], ops[1], ops[2])
+            }
+        };
+        TestCase { a, b, c, op, rm }
+    }
+
+    /// Generates a batch aimed at `target`.
+    pub fn batch(&mut self, target: Target, count: usize) -> Vec<TestCase> {
+        (0..count).map(|_| self.generate(target)).collect()
+    }
+
+    fn any(&mut self) -> u128 {
+        self.rng.gen::<u128>() & self.format.mask()
+    }
+
+    fn normal(&mut self, exp: u32) -> u128 {
+        let f = self.format;
+        f.pack(self.rng.gen(), exp, self.rng.gen::<u128>() & f.frac_mask())
+    }
+
+    fn denormal(&mut self) -> u128 {
+        let f = self.format;
+        let frac = (self.rng.gen::<u128>() & f.frac_mask()).max(1);
+        f.pack(self.rng.gen(), 0, frac)
+    }
+
+    fn special(&mut self) -> u128 {
+        let f = self.format;
+        match self.rng.gen_range(0..4) {
+            0 => f.inf(self.rng.gen()),
+            1 => f.zero(self.rng.gen()),
+            2 => f.quiet_nan(),
+            _ => f.pack(false, f.exp_max_biased(), 1), // signaling NaN
+        }
+    }
+
+    /// Operands with e_a + e_b − bias − e_c = delta (all normal).
+    fn with_delta(&mut self, delta: i64) -> (u128, u128, u128) {
+        let f = self.format;
+        let emax = (1i64 << f.exp_bits()) - 2;
+        for _ in 0..64 {
+            let ea = self.rng.gen_range(1..=emax);
+            let ec = self.rng.gen_range(1..=emax);
+            let eb = delta + ec + f.bias() as i64 - ea;
+            if (1..=emax).contains(&eb) {
+                return (
+                    self.normal(ea as u32),
+                    self.normal(eb as u32),
+                    self.normal(ec as u32),
+                );
+            }
+        }
+        // δ unreachable within the exponent range: fall back to uniform.
+        (self.any(), self.any(), self.any())
+    }
+
+    /// Product and addend of near-equal magnitude with opposite signs.
+    fn cancellation(&mut self) -> (u128, u128, u128) {
+        let f = self.format;
+        let delta = self.rng.gen_range(-2..2);
+        let (a, b, c0) = self.with_delta(delta);
+        // Flip c's sign so that the effective operation subtracts, and copy
+        // high fraction bits from the product's leading bits to deepen the
+        // cancellation.
+        let sp = f.sign_of(a) ^ f.sign_of(b);
+        let c = (c0 & !(1u128 << (f.width() - 1))) | (u128::from(!sp) << (f.width() - 1));
+        (a, b, c)
+    }
+
+    /// A multiplication whose product lands near the denormal range.
+    fn tiny_result(&mut self) -> (u128, u128, u128) {
+        let f = self.format;
+        let emax = (1i64 << f.exp_bits()) - 2;
+        let bias = f.bias() as i64;
+        // e_a + e_b near bias: the product exponent lands near emin.
+        let ea = self.rng.gen_range(1..=(bias).max(1));
+        let eb = (bias - ea + self.rng.gen_range(-2..3)).clamp(1, emax);
+        (
+            self.normal(ea as u32),
+            self.normal(eb as u32),
+            f.zero(self.rng.gen()),
+        )
+    }
+
+    /// The format this generator targets.
+    pub fn format(&self) -> FpFormat {
+        self.format
+    }
+}
+
+/// Classifies how interesting a vector is (used by coverage reporting in
+/// regressions): which δ-region and specials it hits.
+pub fn classify(format: FpFormat, tc: &TestCase) -> &'static str {
+    let cls = |x: u128| format.classify(x);
+    if [tc.a, tc.b, tc.c].iter().any(|&x| cls(x) == FpClass::Nan) {
+        return "nan";
+    }
+    if [tc.a, tc.b, tc.c].iter().any(|&x| cls(x) == FpClass::Inf) {
+        return "inf";
+    }
+    if [tc.a, tc.b, tc.c].iter().any(|&x| cls(x) == FpClass::Zero) {
+        return "zero";
+    }
+    if [tc.a, tc.b, tc.c]
+        .iter()
+        .any(|&x| cls(x) == FpClass::Denormal)
+    {
+        return "denormal";
+    }
+    "normal"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmaverify_softfloat::FpFormat;
+
+    #[test]
+    fn delta_targeting_hits_the_window() {
+        let fmt = FpFormat::HALF;
+        let mut gen = TestCaseGenerator::new(fmt, 1);
+        for delta in [-5i64, 0, 7] {
+            let mut hits = 0;
+            for _ in 0..200 {
+                let tc = gen.generate(Target::Delta(delta));
+                let e = |x: u128| fmt.biased_exp_of(x) as i64;
+                if fmt.classify(tc.a) == FpClass::Normal
+                    && fmt.classify(tc.b) == FpClass::Normal
+                    && fmt.classify(tc.c) == FpClass::Normal
+                    && e(tc.a) + e(tc.b) - fmt.bias() as i64 - e(tc.c) == delta
+                {
+                    hits += 1;
+                }
+            }
+            assert!(hits > 150, "delta {delta}: only {hits}/200 on target");
+        }
+    }
+
+    #[test]
+    fn denormal_targeting() {
+        let fmt = FpFormat::HALF;
+        let mut gen = TestCaseGenerator::new(fmt, 2);
+        let batch = gen.batch(Target::DenormalOperands, 100);
+        let with_denormal = batch
+            .iter()
+            .filter(|tc| classify(fmt, tc) == "denormal")
+            .count();
+        assert!(with_denormal > 60, "{with_denormal}/100");
+    }
+
+    #[test]
+    fn specials_targeting() {
+        let fmt = FpFormat::MICRO;
+        let mut gen = TestCaseGenerator::new(fmt, 3);
+        let batch = gen.batch(Target::Specials, 100);
+        let specials = batch
+            .iter()
+            .filter(|tc| matches!(classify(fmt, tc), "nan" | "inf" | "zero"))
+            .count();
+        assert!(specials > 70, "{specials}/100");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let fmt = FpFormat::HALF;
+        let a: Vec<TestCase> = TestCaseGenerator::new(fmt, 7).batch(Target::Uniform, 20);
+        let b: Vec<TestCase> = TestCaseGenerator::new(fmt, 7).batch(Target::Uniform, 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cancellation_produces_effective_subtraction() {
+        let fmt = FpFormat::HALF;
+        let mut gen = TestCaseGenerator::new(fmt, 4);
+        let mut eff_sub = 0;
+        for _ in 0..100 {
+            let tc = gen.generate(Target::Cancellation);
+            let sp = fmt.sign_of(tc.a) ^ fmt.sign_of(tc.b);
+            if sp != fmt.sign_of(tc.c) {
+                eff_sub += 1;
+            }
+        }
+        assert_eq!(eff_sub, 100);
+    }
+}

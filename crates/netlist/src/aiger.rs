@@ -1,0 +1,393 @@
+//! AIGER (ASCII `aag`) export and import.
+//!
+//! The paper stresses that "no customized toolset is necessary" and that the
+//! reference model is "portable to ... arbitrary formal frameworks". AIGER
+//! is the lingua franca of open-source model checkers (ABC, aiger tools);
+//! this module writes any netlist in ASCII AIGER 1.9 format — inputs,
+//! latches, and the declared outputs — and reads it back.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::aig::{Netlist, Node, Signal};
+
+/// Error produced when parsing malformed AIGER input.
+#[derive(Debug)]
+pub struct ParseAigerError {
+    message: String,
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aiger parse error: {}", self.message)
+    }
+}
+
+impl Error for ParseAigerError {}
+
+fn err(message: impl Into<String>) -> ParseAigerError {
+    ParseAigerError {
+        message: message.into(),
+    }
+}
+
+/// Writes the netlist in ASCII AIGER (`aag`) format.
+///
+/// Inputs and outputs are emitted in declaration order with their names in
+/// the symbol table; probes are not exported (AIGER has no notion of them).
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+/// Panics if a latch is unconnected.
+pub fn write_aiger<W: Write>(writer: &mut W, netlist: &Netlist) -> io::Result<()> {
+    netlist.assert_closed();
+    // AIGER literal assignment: variable indices 1.. for inputs, latches,
+    // then ANDs, in netlist order.
+    let mut var_of_node: HashMap<usize, u64> = HashMap::new();
+    let mut next_var = 1u64;
+    let mut inputs = Vec::new();
+    let mut latches = Vec::new();
+    let mut ands = Vec::new();
+    for id in netlist.node_ids() {
+        match netlist.node(id) {
+            Node::Const => {}
+            Node::Input { .. } => {
+                var_of_node.insert(id.index(), next_var);
+                inputs.push(id);
+                next_var += 1;
+            }
+            Node::Latch { .. } => {
+                var_of_node.insert(id.index(), next_var);
+                latches.push(id);
+                next_var += 1;
+            }
+            Node::And(..) => {
+                var_of_node.insert(id.index(), next_var);
+                ands.push(id);
+                next_var += 1;
+            }
+        }
+    }
+    let lit = |sig: Signal| -> u64 {
+        let base = if sig.is_const() {
+            0
+        } else {
+            var_of_node[&sig.node().index()] * 2
+        };
+        // The constant node is FALSE (literal 0); inversion adds 1.
+        base + u64::from(sig.is_inverted())
+    };
+
+    let m = next_var - 1;
+    writeln!(
+        writer,
+        "aag {} {} {} {} {}",
+        m,
+        inputs.len(),
+        latches.len(),
+        netlist.outputs().len(),
+        ands.len()
+    )?;
+    for &i in &inputs {
+        writeln!(writer, "{}", var_of_node[&i.index()] * 2)?;
+    }
+    for &l in &latches {
+        if let Node::Latch { init, next, .. } = netlist.node(l) {
+            writeln!(
+                writer,
+                "{} {} {}",
+                var_of_node[&l.index()] * 2,
+                lit(*next),
+                u8::from(*init)
+            )?;
+        }
+    }
+    for (_, sig) in netlist.outputs() {
+        writeln!(writer, "{}", lit(*sig))?;
+    }
+    for &a in &ands {
+        if let Node::And(x, y) = netlist.node(a) {
+            let (lx, ly) = (lit(*x), lit(*y));
+            let (hi, lo) = if lx >= ly { (lx, ly) } else { (ly, lx) };
+            writeln!(writer, "{} {} {}", var_of_node[&a.index()] * 2, hi, lo)?;
+        }
+    }
+    // Symbol table.
+    for (k, &i) in inputs.iter().enumerate() {
+        if let Node::Input { name } = netlist.node(i) {
+            writeln!(writer, "i{k} {name}")?;
+        }
+    }
+    for (k, (name, _)) in netlist.outputs().iter().enumerate() {
+        writeln!(writer, "o{k} {name}")?;
+    }
+    Ok(())
+}
+
+/// Reads an ASCII AIGER (`aag`) file into a netlist.
+///
+/// Latch reset values of `0`/`1` are honored; the AIGER "uninitialized"
+/// reset is rejected. Symbol-table names are applied to inputs and outputs
+/// (unnamed inputs get `i<k>`).
+///
+/// # Errors
+/// Returns [`ParseAigerError`] on malformed input, unsupported features
+/// (binary `aig` format, bad literals), or I/O failures.
+pub fn parse_aiger<R: BufRead>(reader: &mut R) -> Result<Netlist, ParseAigerError> {
+    let mut lines = Vec::new();
+    for l in reader.lines() {
+        lines.push(l.map_err(|e| err(format!("io error: {e}")))?);
+    }
+    let mut it = lines.iter();
+    let header = it.next().ok_or_else(|| err("empty file"))?;
+    let mut h = header.split_whitespace();
+    if h.next() != Some("aag") {
+        return Err(err("only the ASCII 'aag' format is supported"));
+    }
+    let nums: Vec<u64> = h
+        .map(|t| t.parse().map_err(|_| err("bad header number")))
+        .collect::<Result<_, _>>()?;
+    let [m, i, l, o, a] = nums.as_slice() else {
+        return Err(err("header must be 'aag M I L O A'"));
+    };
+
+    // First pass: read the raw records.
+    fn take_line<'a>(
+        it: &mut std::slice::Iter<'a, String>,
+    ) -> Result<&'a str, ParseAigerError> {
+        it.next()
+            .map(String::as_str)
+            .ok_or_else(|| err("unexpected end of file"))
+    }
+    let mut input_lits = Vec::new();
+    for _ in 0..*i {
+        let line = take_line(&mut it)?;
+        input_lits.push(parse_u64(line)?);
+    }
+    let mut latch_recs = Vec::new();
+    for _ in 0..*l {
+        let line = take_line(&mut it)?;
+        let parts: Vec<u64> = line
+            .split_whitespace()
+            .map(parse_u64)
+            .collect::<Result<_, _>>()?;
+        match parts.as_slice() {
+            [cur, next] => latch_recs.push((*cur, *next, 0)),
+            [cur, next, reset] => {
+                if *reset > 1 {
+                    return Err(err("uninitialized latch resets are unsupported"));
+                }
+                latch_recs.push((*cur, *next, *reset));
+            }
+            _ => return Err(err("bad latch record")),
+        }
+    }
+    let mut output_lits = Vec::new();
+    for _ in 0..*o {
+        output_lits.push(parse_u64(take_line(&mut it)?)?);
+    }
+    let mut and_recs = Vec::new();
+    for _ in 0..*a {
+        let line = take_line(&mut it)?;
+        let parts: Vec<u64> = line
+            .split_whitespace()
+            .map(parse_u64)
+            .collect::<Result<_, _>>()?;
+        let [lhs, r0, r1] = parts.as_slice() else {
+            return Err(err("bad and record"));
+        };
+        and_recs.push((*lhs, *r0, *r1));
+    }
+    // Symbol table (optional).
+    let mut input_names: HashMap<usize, String> = HashMap::new();
+    let mut output_names: HashMap<usize, String> = HashMap::new();
+    for line in it {
+        if line.starts_with('c') {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix('i') {
+            if let Some((k, name)) = rest.split_once(' ') {
+                if let Ok(k) = k.parse() {
+                    input_names.insert(k, name.to_string());
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix('o') {
+            if let Some((k, name)) = rest.split_once(' ') {
+                if let Ok(k) = k.parse() {
+                    output_names.insert(k, name.to_string());
+                }
+            }
+        }
+    }
+
+    // Second pass: rebuild. AIGER guarantees ANDs are in topological order
+    // (lhs > rhs), so a single sweep suffices.
+    let mut n = Netlist::new();
+    let mut sig_of_var: Vec<Option<Signal>> = vec![None; *m as usize + 1];
+    for (k, &litv) in input_lits.iter().enumerate() {
+        if litv % 2 != 0 {
+            return Err(err("inverted input definition"));
+        }
+        let name = input_names
+            .get(&k)
+            .cloned()
+            .unwrap_or_else(|| format!("i{k}"));
+        sig_of_var[(litv / 2) as usize] = Some(n.input(name));
+    }
+    let mut latch_handles = Vec::new();
+    for &(cur, _, reset) in &latch_recs {
+        if cur % 2 != 0 {
+            return Err(err("inverted latch definition"));
+        }
+        let q = n.latch(reset == 1);
+        sig_of_var[(cur / 2) as usize] = Some(q);
+        latch_handles.push(q);
+    }
+    let resolve = |sig_of_var: &[Option<Signal>], litv: u64| -> Result<Signal, ParseAigerError> {
+        if litv == 0 {
+            return Ok(Signal::FALSE);
+        }
+        if litv == 1 {
+            return Ok(Signal::TRUE);
+        }
+        let base = sig_of_var
+            .get((litv / 2) as usize)
+            .copied()
+            .flatten()
+            .ok_or_else(|| err(format!("undefined literal {litv}")))?;
+        Ok(if litv % 2 == 1 { !base } else { base })
+    };
+    for &(lhs, r0, r1) in &and_recs {
+        if lhs % 2 != 0 {
+            return Err(err("inverted and definition"));
+        }
+        let x = resolve(&sig_of_var, r0)?;
+        let y = resolve(&sig_of_var, r1)?;
+        sig_of_var[(lhs / 2) as usize] = Some(n.and(x, y));
+    }
+    for (q, &(_, next, _)) in latch_handles.iter().zip(&latch_recs) {
+        let d = resolve(&sig_of_var, next)?;
+        n.set_latch_next(*q, d);
+    }
+    for (k, &litv) in output_lits.iter().enumerate() {
+        let s = resolve(&sig_of_var, litv)?;
+        let name = output_names
+            .get(&k)
+            .cloned()
+            .unwrap_or_else(|| format!("o{k}"));
+        n.output(name, s);
+    }
+    Ok(n)
+}
+
+fn parse_u64(s: &str) -> Result<u64, ParseAigerError> {
+    s.trim()
+        .parse()
+        .map_err(|_| err(format!("bad number '{s}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::BitSim;
+
+    fn roundtrip(n: &Netlist) -> Netlist {
+        let mut buf = Vec::new();
+        write_aiger(&mut buf, n).expect("write to vec");
+        parse_aiger(&mut buf.as_slice()).expect("parse own output")
+    }
+
+    #[test]
+    fn combinational_roundtrip_preserves_function() {
+        let mut n = Netlist::new();
+        let a = n.word_input("a", 6);
+        let b = n.word_input("b", 6);
+        let s = n.add(&a, &b);
+        let lt = n.ult(&a, &b);
+        for (i, &bit) in s.bits().iter().enumerate() {
+            n.output(format!("s[{i}]"), bit);
+        }
+        n.output("lt", lt);
+        let back = roundtrip(&n);
+        assert_eq!(back.inputs().len(), 12);
+        for va in [0u128, 1, 17, 63] {
+            for vb in [0u128, 5, 62, 63] {
+                let eval = |net: &Netlist| -> (u128, bool) {
+                    let mut sim = BitSim::new(net);
+                    for i in 0..6 {
+                        sim.set(net.find_input(&format!("a[{i}]")).expect("a"), va >> i & 1 == 1);
+                        sim.set(net.find_input(&format!("b[{i}]")).expect("b"), vb >> i & 1 == 1);
+                    }
+                    sim.eval();
+                    let s: u128 = (0..6)
+                        .map(|i| {
+                            u128::from(sim.get(net.find_output(&format!("s[{i}]")).expect("s")))
+                                << i
+                        })
+                        .sum();
+                    (s, sim.get(net.find_output("lt").expect("lt")))
+                };
+                assert_eq!(eval(&n), eval(&back), "a={va} b={vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_roundtrip() {
+        let mut n = Netlist::new();
+        let d = n.input("d");
+        let q1 = n.latch(true);
+        let q2 = n.latch(false);
+        n.set_latch_next(q1, d);
+        let g = n.xor(q1, q2);
+        n.set_latch_next(q2, g);
+        n.output("q2", q2);
+        let back = roundtrip(&n);
+        assert_eq!(back.num_latches(), 2);
+        // Step both for a few cycles and compare.
+        let mut s0 = BitSim::new(&n);
+        let mut s1 = BitSim::new(&back);
+        for (cyc, bit) in [true, false, true, true, false].iter().enumerate() {
+            s0.set(n.find_input("d").expect("d"), *bit);
+            s1.set(back.find_input("d").expect("d"), *bit);
+            s0.eval();
+            s1.eval();
+            assert_eq!(
+                s0.get(n.find_output("q2").expect("q2")),
+                s1.get(back.find_output("q2").expect("q2")),
+                "cycle {cyc}"
+            );
+            s0.step();
+            s1.step();
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_aiger(&mut "".as_bytes()).is_err());
+        assert!(parse_aiger(&mut "aig 1 1 0 0 0\n2\n".as_bytes()).is_err());
+        assert!(parse_aiger(&mut "aag 1 1 0 1 0\n2\n9\n".as_bytes()).is_err());
+        assert!(parse_aiger(&mut "aag x\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn constants_roundtrip() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let t = n.and(a, Signal::TRUE);
+        n.output("t", t);
+        n.output("always0", Signal::FALSE);
+        n.output("always1", Signal::TRUE);
+        let back = roundtrip(&n);
+        let mut sim = BitSim::new(&back);
+        sim.set(back.find_input("a").expect("a"), true);
+        sim.eval();
+        assert!(sim.get(back.find_output("t").expect("t")));
+        assert!(!sim.get(back.find_output("always0").expect("o")));
+        assert!(sim.get(back.find_output("always1").expect("o")));
+    }
+}

@@ -1,0 +1,305 @@
+//! Value-change-dump (VCD) waveform recording.
+//!
+//! Counterexamples from the formal engines are replayed on [`BitSim`]; this
+//! module records chosen signals across cycles and writes a standard VCD
+//! file so the trace can be inspected in any waveform viewer — the kind of
+//! debug loop a verification team runs on every miter failure.
+
+use std::io::{self, Write};
+
+use crate::aig::{Netlist, Signal};
+use crate::sim::BitSim;
+use crate::word::Word;
+
+enum Watched {
+    Bit(String, Signal),
+    Word(String, Word),
+}
+
+/// Records samples of watched signals from a [`BitSim`] and writes them as
+/// VCD.
+///
+/// # Examples
+///
+/// ```
+/// use fmaverify_netlist::{BitSim, Netlist, WaveRecorder};
+///
+/// let mut n = Netlist::new();
+/// let d = n.input("d");
+/// let q = n.latch(false);
+/// n.set_latch_next(q, d);
+/// let mut rec = WaveRecorder::new();
+/// rec.watch("d", d);
+/// rec.watch("q", q);
+/// let mut sim = BitSim::new(&n);
+/// for bit in [true, false, true] {
+///     sim.set(d, bit);
+///     sim.eval();
+///     rec.sample(&sim);
+///     sim.step();
+/// }
+/// let mut out = Vec::new();
+/// rec.write_vcd(&mut out, "ns").expect("write to vec");
+/// assert!(String::from_utf8(out).expect("utf8").contains("$var wire 1"));
+/// ```
+#[derive(Default)]
+pub struct WaveRecorder {
+    watched: Vec<Watched>,
+    /// One sample row per call to [`WaveRecorder::sample`]; each row stores
+    /// the flattened bit values of every watched signal.
+    samples: Vec<Vec<bool>>,
+}
+
+impl std::fmt::Debug for WaveRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaveRecorder")
+            .field("watched", &self.watched.len())
+            .field("samples", &self.samples.len())
+            .finish()
+    }
+}
+
+impl WaveRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> WaveRecorder {
+        WaveRecorder::default()
+    }
+
+    /// Watches a single-bit signal under `name`.
+    ///
+    /// # Panics
+    /// Panics if samples were already taken (the layout would shift).
+    pub fn watch(&mut self, name: impl Into<String>, sig: Signal) {
+        assert!(self.samples.is_empty(), "watch before sampling");
+        self.watched.push(Watched::Bit(name.into(), sig));
+    }
+
+    /// Watches a multi-bit word under `name`.
+    ///
+    /// # Panics
+    /// Panics if samples were already taken.
+    pub fn watch_word(&mut self, name: impl Into<String>, word: &Word) {
+        assert!(self.samples.is_empty(), "watch before sampling");
+        self.watched.push(Watched::Word(name.into(), word.clone()));
+    }
+
+    /// Takes one sample (typically once per cycle, after `eval`).
+    pub fn sample(&mut self, sim: &BitSim) {
+        let mut row = Vec::new();
+        for w in &self.watched {
+            match w {
+                Watched::Bit(_, sig) => row.push(sim.get(*sig)),
+                Watched::Word(_, word) => {
+                    for &b in word.bits() {
+                        row.push(sim.get(b));
+                    }
+                }
+            }
+        }
+        self.samples.push(row);
+    }
+
+    /// Number of samples taken so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been taken.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Writes the recording as a VCD file with the given timescale
+    /// (e.g. `"ns"`). Only value *changes* are emitted, per the format.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the writer.
+    pub fn write_vcd<W: Write>(&self, writer: &mut W, timescale: &str) -> io::Result<()> {
+        writeln!(writer, "$timescale 1{timescale} $end")?;
+        writeln!(writer, "$scope module fmaverify $end")?;
+        // Identifier codes: printable ASCII starting at '!'.
+        let ident = |k: usize| -> String {
+            let mut k = k;
+            let mut s = String::new();
+            loop {
+                s.push((b'!' + (k % 94) as u8) as char);
+                k /= 94;
+                if k == 0 {
+                    break;
+                }
+            }
+            s
+        };
+        let mut idents = Vec::new();
+        for (k, w) in self.watched.iter().enumerate() {
+            let id = ident(k);
+            match w {
+                Watched::Bit(name, _) => {
+                    writeln!(writer, "$var wire 1 {id} {name} $end")?;
+                }
+                Watched::Word(name, word) => {
+                    writeln!(
+                        writer,
+                        "$var wire {} {id} {name} [{}:0] $end",
+                        word.width(),
+                        word.width() - 1
+                    )?;
+                }
+            }
+            idents.push(id);
+        }
+        writeln!(writer, "$upscope $end")?;
+        writeln!(writer, "$enddefinitions $end")?;
+
+        let mut prev: Option<Vec<bool>> = None;
+        for (t, row) in self.samples.iter().enumerate() {
+            let mut emitted_time = false;
+            let mut offset = 0;
+            for (k, w) in self.watched.iter().enumerate() {
+                let width = match w {
+                    Watched::Bit(..) => 1,
+                    Watched::Word(_, word) => word.width(),
+                };
+                let slice = &row[offset..offset + width];
+                let changed = prev
+                    .as_ref()
+                    .map(|p| p[offset..offset + width] != *slice)
+                    .unwrap_or(true);
+                if changed {
+                    if !emitted_time {
+                        writeln!(writer, "#{t}")?;
+                        emitted_time = true;
+                    }
+                    match w {
+                        Watched::Bit(..) => {
+                            writeln!(writer, "{}{}", u8::from(slice[0]), idents[k])?;
+                        }
+                        Watched::Word(..) => {
+                            let bits: String = slice
+                                .iter()
+                                .rev()
+                                .map(|&b| if b { '1' } else { '0' })
+                                .collect();
+                            writeln!(writer, "b{bits} {}", idents[k])?;
+                        }
+                    }
+                }
+                offset += width;
+            }
+            prev = Some(row.clone());
+        }
+        Ok(())
+    }
+}
+
+/// Replays a named input assignment on a netlist for `cycles` cycles
+/// (inputs held) while recording every output and probe; returns the VCD
+/// text. This is the one-call debug helper for counterexamples.
+///
+/// # Panics
+/// Panics if an assignment key is not a primary input of the netlist.
+pub fn dump_counterexample(
+    netlist: &Netlist,
+    assignment: &[(String, bool)],
+    cycles: usize,
+) -> String {
+    let mut rec = WaveRecorder::new();
+    for (name, sig) in netlist.outputs() {
+        rec.watch(name.clone(), *sig);
+    }
+    for name in netlist.probe_names() {
+        let sig = netlist.find_probe(name).expect("probe");
+        rec.watch(name, sig);
+    }
+    let mut sim = BitSim::new(netlist);
+    for (name, value) in assignment {
+        let sig = netlist
+            .find_input(name)
+            .unwrap_or_else(|| panic!("unknown input '{name}'"));
+        sim.set(sig, *value);
+    }
+    for _ in 0..cycles.max(1) {
+        sim.eval();
+        rec.sample(&sim);
+        sim.step();
+    }
+    let mut out = Vec::new();
+    rec.write_vcd(&mut out, "ns").expect("write to vec");
+    String::from_utf8(out).expect("vcd is ascii")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_waveform() {
+        // 2-bit counter; the word variable must step 0,1,2,3.
+        let mut n = Netlist::new();
+        let q0 = n.latch(false);
+        let q1 = n.latch(false);
+        let t = n.xor(q1, q0);
+        n.set_latch_next(q0, !q0);
+        n.set_latch_next(q1, t);
+        let word = Word::from_bits(vec![q0, q1]);
+        let mut rec = WaveRecorder::new();
+        rec.watch_word("count", &word);
+        rec.watch("lsb", q0);
+        let mut sim = BitSim::new(&n);
+        for _ in 0..4 {
+            sim.eval();
+            rec.sample(&sim);
+            sim.step();
+        }
+        assert_eq!(rec.len(), 4);
+        let mut out = Vec::new();
+        rec.write_vcd(&mut out, "ns").expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("$var wire 2"));
+        assert!(text.contains("b00 "));
+        assert!(text.contains("b01 "));
+        assert!(text.contains("b10 "));
+        assert!(text.contains("b11 "));
+        // Unchanged signals are not re-emitted: 'lsb' toggles every cycle so
+        // it appears at every timestamp; 'count' too. Time markers present.
+        assert!(text.contains("#0"));
+        assert!(text.contains("#3"));
+    }
+
+    #[test]
+    fn change_only_encoding() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let mut rec = WaveRecorder::new();
+        rec.watch("a", a);
+        let mut sim = BitSim::new(&n);
+        sim.set(a, true);
+        sim.eval();
+        rec.sample(&sim);
+        rec.sample(&sim); // no change
+        rec.sample(&sim); // no change
+        let mut out = Vec::new();
+        rec.write_vcd(&mut out, "ps").expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(text.matches("1!").count(), 1, "only the first sample emits");
+        assert!(!text.contains("#1\n"), "quiet cycles emit no time marker");
+    }
+
+    #[test]
+    fn dump_counterexample_includes_outputs_and_probes() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let g = n.and(a, b);
+        n.output("g", g);
+        n.probe("inner", g);
+        let text = dump_counterexample(
+            &n,
+            &[("a".to_string(), true), ("b".to_string(), true)],
+            1,
+        );
+        assert!(text.contains("$var wire 1 ! g"));
+        assert!(text.contains("inner"));
+        assert!(text.contains("1!"));
+    }
+}

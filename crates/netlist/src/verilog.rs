@@ -1,0 +1,224 @@
+//! Structural Verilog export.
+//!
+//! Emits the netlist as a flat gate-level Verilog module (2-input ANDs and
+//! inverters, plus flip-flops for registers), so designs and miters built
+//! here can be consumed by standard EDA flows — another face of the paper's
+//! "portable to ... arbitrary formal frameworks; no customized toolset is
+//! necessary".
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+use crate::aig::{Netlist, Node, Signal};
+
+/// Sanitizes a netlist name into a Verilog identifier (`a[3]` → `a_3_`).
+fn ident(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Writes the netlist as a structural Verilog module named `module_name`.
+///
+/// Registers become positive-edge flip-flops on a generated `clk` port with
+/// a synchronous `rst` that loads the reset values.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+/// Panics if a latch is unconnected.
+pub fn write_verilog<W: Write>(
+    writer: &mut W,
+    netlist: &Netlist,
+    module_name: &str,
+) -> io::Result<()> {
+    netlist.assert_closed();
+    let mut name_of: HashMap<usize, String> = HashMap::new();
+    let mut ports: Vec<String> = Vec::new();
+    let sequential = netlist.num_latches() > 0;
+    if sequential {
+        ports.push("clk".to_string());
+        ports.push("rst".to_string());
+    }
+    for &id in netlist.inputs() {
+        if let Node::Input { name } = netlist.node(id) {
+            let v = ident(name);
+            ports.push(v.clone());
+            name_of.insert(id.index(), v);
+        }
+    }
+    let out_ports: Vec<(String, Signal)> = netlist
+        .outputs()
+        .iter()
+        .map(|(n, s)| (ident(n), *s))
+        .collect();
+    ports.extend(out_ports.iter().map(|(n, _)| n.clone()));
+
+    writeln!(writer, "module {module_name} (")?;
+    writeln!(writer, "  {}", ports.join(",\n  "))?;
+    writeln!(writer, ");")?;
+    if sequential {
+        writeln!(writer, "  input clk;")?;
+        writeln!(writer, "  input rst;")?;
+    }
+    for &id in netlist.inputs() {
+        writeln!(writer, "  input {};", name_of[&id.index()])?;
+    }
+    for (n, _) in &out_ports {
+        writeln!(writer, "  output {n};")?;
+    }
+    // Internal wires / regs.
+    for id in netlist.node_ids() {
+        match netlist.node(id) {
+            Node::And(..) => {
+                let w = format!("n{}", id.index());
+                writeln!(writer, "  wire {w};")?;
+                name_of.insert(id.index(), w);
+            }
+            Node::Latch { .. } => {
+                let w = format!("q{}", id.index());
+                writeln!(writer, "  reg {w};")?;
+                name_of.insert(id.index(), w);
+            }
+            _ => {}
+        }
+    }
+    let lit = |name_of: &HashMap<usize, String>, s: Signal| -> String {
+        let base = if s.is_const() {
+            "1'b0".to_string()
+        } else {
+            name_of[&s.node().index()].clone()
+        };
+        if s.is_inverted() {
+            if s.is_const() {
+                "1'b1".to_string()
+            } else {
+                format!("~{base}")
+            }
+        } else {
+            base
+        }
+    };
+    // AND gates.
+    for id in netlist.node_ids() {
+        if let Node::And(a, b) = netlist.node(id) {
+            writeln!(
+                writer,
+                "  assign {} = {} & {};",
+                name_of[&id.index()],
+                lit(&name_of, *a),
+                lit(&name_of, *b)
+            )?;
+        }
+    }
+    // Registers.
+    if sequential {
+        writeln!(writer, "  always @(posedge clk) begin")?;
+        writeln!(writer, "    if (rst) begin")?;
+        for &l in netlist.latches() {
+            if let Node::Latch { init, .. } = netlist.node(l) {
+                writeln!(
+                    writer,
+                    "      {} <= 1'b{};",
+                    name_of[&l.index()],
+                    u8::from(*init)
+                )?;
+            }
+        }
+        writeln!(writer, "    end else begin")?;
+        for &l in netlist.latches() {
+            if let Node::Latch { next, .. } = netlist.node(l) {
+                writeln!(
+                    writer,
+                    "      {} <= {};",
+                    name_of[&l.index()],
+                    lit(&name_of, *next)
+                )?;
+            }
+        }
+        writeln!(writer, "    end")?;
+        writeln!(writer, "  end")?;
+    }
+    // Outputs.
+    for ((n, s), _) in out_ports.iter().zip(netlist.outputs()) {
+        writeln!(writer, "  assign {} = {};", n, lit(&name_of, *s))?;
+    }
+    writeln!(writer, "endmodule")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(n: &Netlist) -> String {
+        let mut buf = Vec::new();
+        write_verilog(&mut buf, n, "dut").expect("write to vec");
+        String::from_utf8(buf).expect("ascii")
+    }
+
+    #[test]
+    fn combinational_module() {
+        let mut n = Netlist::new();
+        let a = n.word_input("a", 2);
+        let b = n.word_input("b", 2);
+        let s = n.add(&a, &b);
+        for (i, &bit) in s.bits().iter().enumerate() {
+            n.output(format!("s[{i}]"), bit);
+        }
+        let text = render(&n);
+        assert!(text.starts_with("module dut ("));
+        assert!(text.contains("input a_0_;"));
+        assert!(text.contains("output s_1_;"));
+        assert!(text.contains(" & "));
+        assert!(text.ends_with("endmodule\n"));
+        assert!(!text.contains("clk"), "combinational module has no clock");
+        // Every assign's operands are declared.
+        for line in text.lines().filter(|l| l.trim_start().starts_with("assign")) {
+            assert!(line.contains('='));
+        }
+    }
+
+    #[test]
+    fn sequential_module() {
+        let mut n = Netlist::new();
+        let d = n.input("d");
+        let q = n.latch(true);
+        n.set_latch_next(q, d);
+        n.output("q", q);
+        let text = render(&n);
+        assert!(text.contains("input clk;"));
+        assert!(text.contains("always @(posedge clk)"));
+        assert!(text.contains("<= 1'b1;"), "reset value emitted");
+        assert!(text.contains("<= d;"));
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let mut n = Netlist::new();
+        n.input("x");
+        n.output("zero", Signal::FALSE);
+        n.output("one", Signal::TRUE);
+        let text = render(&n);
+        assert!(text.contains("assign zero = 1'b0;"));
+        assert!(text.contains("assign one = 1'b1;"));
+    }
+
+    #[test]
+    fn identifier_sanitization() {
+        assert_eq!(ident("a[0]"), "a_0_");
+        assert_eq!(ident("ref.result[3]"), "ref_result_3_");
+        assert_eq!(ident("3x"), "_3x");
+        assert_eq!(ident("plain_name"), "plain_name");
+    }
+}

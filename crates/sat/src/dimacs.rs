@@ -1,0 +1,194 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The verification flow is self-contained, but DIMACS export lets individual
+//! proof obligations (e.g. the multiplier-isolation soundness check) be
+//! re-checked with an external solver, mirroring the paper's claim that no
+//! customized toolset is necessary.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::lit::Lit;
+
+/// A CNF formula: a variable count plus a list of clauses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (variables are `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses, each a disjunction of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula.
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Adds a clause, growing `num_vars` to cover its literals.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        for l in lits {
+            self.num_vars = self.num_vars.max(l.var().index() + 1);
+        }
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// Loads the formula into a fresh [`crate::Solver`].
+    pub fn to_solver(&self) -> crate::Solver {
+        let mut solver = crate::Solver::new();
+        for _ in 0..self.num_vars {
+            solver.new_var();
+        }
+        for c in &self.clauses {
+            solver.add_clause(c);
+        }
+        solver
+    }
+}
+
+/// Error produced when parsing malformed DIMACS input.
+#[derive(Debug)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+impl ParseDimacsError {
+    fn new(line: usize, message: impl Into<String>) -> ParseDimacsError {
+        ParseDimacsError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses a DIMACS CNF file from a reader.
+///
+/// # Errors
+/// Returns [`ParseDimacsError`] on malformed headers, non-integer tokens, or a
+/// clause left unterminated at end of input. I/O errors are reported through
+/// the same error type.
+///
+/// # Examples
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "c example\np cnf 2 2\n1 2 0\n-1 0\n";
+/// let cnf = fmaverify_sat::parse_dimacs(&mut text.as_bytes())?;
+/// assert_eq!(cnf.num_vars, 2);
+/// assert_eq!(cnf.clauses.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_dimacs<R: BufRead>(reader: &mut R) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line =
+            line.map_err(|e| ParseDimacsError::new(lineno, format!("io error: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(ParseDimacsError::new(lineno, "expected 'p cnf <vars> <clauses>'"));
+            }
+            let nv: usize = parts[1]
+                .parse()
+                .map_err(|_| ParseDimacsError::new(lineno, "bad variable count"))?;
+            declared_vars = Some(nv);
+            cnf.num_vars = cnf.num_vars.max(nv);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let val: i64 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::new(lineno, format!("bad literal '{tok}'")))?;
+            if val == 0 {
+                cnf.add_clause(&std::mem::take(&mut current));
+            } else {
+                current.push(Lit::from_dimacs(val));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError::new(0, "unterminated clause at end of input"));
+    }
+    if let Some(nv) = declared_vars {
+        if cnf.num_vars > nv {
+            return Err(ParseDimacsError::new(
+                0,
+                format!("clause uses variable beyond declared count {nv}"),
+            ));
+        }
+    }
+    Ok(cnf)
+}
+
+/// Writes a formula in DIMACS CNF format.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_dimacs<W: Write>(writer: &mut W, cnf: &Cnf) -> io::Result<()> {
+    writeln!(writer, "p cnf {} {}", cnf.num_vars, cnf.clauses.len())?;
+    for clause in &cnf.clauses {
+        for l in clause {
+            write!(writer, "{} ", l.to_dimacs())?;
+        }
+        writeln!(writer, "0")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn roundtrip() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[Lit::from_dimacs(1), Lit::from_dimacs(-2)]);
+        cnf.add_clause(&[Lit::from_dimacs(2), Lit::from_dimacs(3)]);
+        let mut buf = Vec::new();
+        write_dimacs(&mut buf, &cnf).expect("write to vec");
+        let parsed = parse_dimacs(&mut buf.as_slice()).expect("parse own output");
+        assert_eq!(parsed, cnf);
+    }
+
+    #[test]
+    fn parse_with_comments_and_header() {
+        let text = "c comment\nc more\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse_dimacs(&mut text.as_bytes()).expect("valid input");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.to_solver().solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn parse_clause_spanning_lines() {
+        let text = "p cnf 2 1\n1\n2 0\n";
+        let cnf = parse_dimacs(&mut text.as_bytes()).expect("valid input");
+        assert_eq!(cnf.clauses, vec![vec![Lit::from_dimacs(1), Lit::from_dimacs(2)]]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_dimacs(&mut "p cnf x 1\n".as_bytes()).is_err());
+        assert!(parse_dimacs(&mut "p cnf 1 1\n1 foo 0\n".as_bytes()).is_err());
+        assert!(parse_dimacs(&mut "p cnf 1 1\n1\n".as_bytes()).is_err());
+        assert!(parse_dimacs(&mut "p cnf 1 1\n1 2 0\n".as_bytes()).is_err());
+    }
+}

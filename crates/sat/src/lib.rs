@@ -1,0 +1,32 @@
+//! CDCL SAT solving for the FMA FPU verification flow.
+//!
+//! This crate provides the satisfiability engine referenced throughout the
+//! paper: it discharges the far-out cases, the multiply instruction, the
+//! multiplier-isolation soundness obligations, the case-split completeness
+//! tautology, and it powers simulation-guided SAT sweeping in
+//! `fmaverify-netlist`.
+//!
+//! # Examples
+//!
+//! ```
+//! use fmaverify_sat::{Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var().positive();
+//! let y = solver.new_var().positive();
+//! // (x OR y) AND (!x OR y) forces y.
+//! solver.add_clause(&[x, y]);
+//! solver.add_clause(&[!x, y]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert!(solver.model_value(y.var()).is_true());
+//! ```
+
+#![warn(missing_docs)]
+
+mod dimacs;
+mod lit;
+mod solver;
+
+pub use dimacs::{parse_dimacs, write_dimacs, Cnf, ParseDimacsError};
+pub use lit::{LBool, Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

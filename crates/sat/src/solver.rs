@@ -1,0 +1,994 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! The design follows the MiniSat lineage: two-watched-literal propagation,
+//! first-UIP conflict analysis with clause minimization, VSIDS variable
+//! activities with phase saving, Luby restarts, and activity/LBD-driven
+//! deletion of learnt clauses. This is the workhorse engine the paper uses for
+//! the far-out cases, the multiply instruction, the multiplier-isolation
+//! soundness obligations, and SAT sweeping.
+
+use crate::lit::{LBool, Lit, Var};
+
+/// Index of a clause in the solver's clause arena.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct ClauseRef(u32);
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    activity: f64,
+    lbd: u32,
+    #[allow(dead_code)] // recorded for debugging / future proof logging
+    learnt: bool,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and the watcher need not be inspected.
+    blocker: Lit,
+}
+
+/// Result of a satisfiability query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::model_value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a decision was reached.
+    Unknown,
+}
+
+/// Aggregate solver statistics, useful for experiment reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of problem (original) clauses added.
+    pub original_clauses: u64,
+}
+
+/// Max-heap of variables ordered by VSIDS activity.
+#[derive(Debug, Default)]
+struct VarOrderHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    indices: Vec<usize>,
+}
+
+impl VarOrderHeap {
+    fn ensure_var(&mut self, v: Var) {
+        if self.indices.len() <= v.index() {
+            self.indices.resize(v.index() + 1, usize::MAX);
+        }
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.indices
+            .get(v.index())
+            .is_some_and(|&i| i != usize::MAX)
+    }
+
+    fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.ensure_var(v);
+        if self.contains(v) {
+            return;
+        }
+        self.indices[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.indices[top.index()] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.indices[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn bumped(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            let i = self.indices[v.index()];
+            self.sift_up(i, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] > activity[self.heap[parent].index()] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.indices[self.heap[a].index()] = a;
+        self.indices[self.heap[b].index()] = b;
+    }
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use fmaverify_sat::{Solver, SolveResult};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var().positive();
+/// let b = solver.new_var().positive();
+/// solver.add_clause(&[a, b]);
+/// solver.add_clause(&[!a]);
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// assert!(solver.model_value(b.var()).is_true());
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    free_list: Vec<u32>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarOrderHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    qhead: usize,
+    ok: bool,
+    seen: Vec<bool>,
+    analyze_stack: Vec<Lit>,
+    analyze_toclear: Vec<Lit>,
+    learnt_refs: Vec<ClauseRef>,
+    max_learnts: f64,
+    conflict_budget: Option<u64>,
+    stats: SolverStats,
+    conflict_assumptions: Vec<Lit>,
+    model: Vec<LBool>,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            ok: true,
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            max_learnts: 0.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Returns the number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Returns aggregate statistics for this solver.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits the next [`Solver::solve`] call to at most `conflicts`
+    /// conflicts; the call returns [`SolveResult::Unknown`] when exhausted.
+    /// Pass `None` to remove the limit.
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.conflict_budget = conflicts;
+    }
+
+    /// Randomizes the saved decision phases from a seed (a cheap xorshift).
+    /// Successive satisfiable solves then tend to produce *different*
+    /// models, which the semi-formal stimulus generator exploits.
+    pub fn randomize_polarities(&mut self, seed: u64) {
+        let mut x = seed | 1;
+        for p in &mut self.polarity {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *p = x & 1 == 1;
+        }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.reason.push(None);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Current value of a literal under the partial assignment.
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].xor(!l.is_positive())
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the solver detected unsatisfiability at the root
+    /// level while adding the clause; the solver is then permanently
+    /// unsatisfiable.
+    ///
+    /// # Panics
+    /// Panics if called between `solve` invocations while decisions are still
+    /// on the trail (the solver always backtracks fully, so this cannot occur
+    /// through the public API) or if a literal's variable was not created by
+    /// this solver.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        if !self.ok {
+            return false;
+        }
+        // Sort, dedup, and discard tautologies / falsified literals.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        let mut out = Vec::with_capacity(ls.len());
+        let mut i = 0;
+        while i < ls.len() {
+            let l = ls[i];
+            assert!(l.var().index() < self.num_vars(), "unknown variable {l:?}");
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => out.push(l),
+            }
+            i += 1;
+        }
+        self.stats.original_clauses += 1;
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(out[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_new_clause(out, false);
+                true
+            }
+        }
+    }
+
+    fn alloc_clause(&mut self, c: Clause) -> ClauseRef {
+        if let Some(slot) = self.free_list.pop() {
+            self.clauses[slot as usize] = c;
+            ClauseRef(slot)
+        } else {
+            self.clauses.push(c);
+            ClauseRef((self.clauses.len() - 1) as u32)
+        }
+    }
+
+    fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let w0 = lits[0];
+        let w1 = lits[1];
+        let cref = self.alloc_clause(Clause {
+            lits,
+            activity: 0.0,
+            lbd: 0,
+            learnt,
+            deleted: false,
+        });
+        self.watches[(!w0).code()].push(Watcher { cref, blocker: w1 });
+        self.watches[(!w1).code()].push(Watcher { cref, blocker: w0 });
+        if learnt {
+            self.learnt_refs.push(cref);
+            self.stats.learnt_clauses = self.learnt_refs.len() as u64;
+        }
+        cref
+    }
+
+    #[inline]
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert!(self.lit_value(l).is_undef());
+        let vi = l.var().index();
+        self.assigns[vi] = LBool::from_bool(l.is_positive());
+        self.level[vi] = self.trail_lim.len() as u32;
+        self.reason[vi] = reason;
+        self.trail.push(l);
+    }
+
+    /// Runs unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut keep = 0;
+            let mut wi = 0;
+            'watchers: while wi < ws.len() {
+                let w = ws[wi];
+                wi += 1;
+                if self.lit_value(w.blocker).is_true() {
+                    ws[keep] = w;
+                    keep += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                // Inspect the clause; make sure the false literal is lits[1].
+                let (first, len) = {
+                    let c = &mut self.clauses[cref.0 as usize];
+                    debug_assert!(!c.deleted);
+                    if c.lits[0] == !p {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], !p);
+                    (c.lits[0], c.lits.len())
+                };
+                if first != w.blocker && self.lit_value(first).is_true() {
+                    ws[keep] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
+                    keep += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..len {
+                    let lk = self.clauses[cref.0 as usize].lits[k];
+                    if !self.lit_value(lk).is_false() {
+                        let c = &mut self.clauses[cref.0 as usize];
+                        c.lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[keep] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                keep += 1;
+                if self.lit_value(first).is_false() {
+                    // Conflict: copy remaining watchers back and stop.
+                    while wi < ws.len() {
+                        ws[keep] = ws[wi];
+                        keep += 1;
+                        wi += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(cref);
+                } else {
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+            }
+            ws.truncate(keep);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let lim = self.trail_lim[target as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let vi = l.var().index();
+            self.assigns[vi] = LBool::Undef;
+            self.polarity[vi] = l.is_positive();
+            self.reason[vi] = None;
+            self.order.insert(l.var(), &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn var_bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    fn var_decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn clause_bump(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.0 as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for &r in &self.learnt_refs {
+                self.clauses[r.0 as usize].activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn clause_decay(&mut self) {
+        self.cla_inc /= 0.999;
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = conflict;
+        let mut index = self.trail.len();
+
+        loop {
+            self.clause_bump(cref);
+            let lits = self.clauses[cref.0 as usize].lits.clone();
+            let start = usize::from(p.is_some());
+            for &q in &lits[start..] {
+                let vi = q.var().index();
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    self.seen[vi] = true;
+                    self.var_bump(q.var());
+                    if self.level[vi] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let l = self.trail[index];
+            p = Some(l);
+            self.seen[l.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            cref = self.reason[l.var().index()].expect("implied literal has a reason");
+        }
+        learnt[0] = !p.expect("UIP literal");
+
+        // Conflict-clause minimization: drop literals implied by the rest.
+        self.analyze_toclear = learnt.clone();
+        for l in &self.analyze_toclear {
+            self.seen[l.var().index()] = true;
+        }
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.lit_redundant(l))
+            .collect();
+        learnt.truncate(1);
+        learnt.extend(keep);
+        for l in std::mem::take(&mut self.analyze_toclear) {
+            self.seen[l.var().index()] = false;
+        }
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Find the backtrack level: the max level among non-UIP literals.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt_level)
+    }
+
+    /// Checks whether `l` is redundant in the learnt clause: every literal in
+    /// its reason chain is already in the clause (seen) or at level 0.
+    fn lit_redundant(&mut self, l: Lit) -> bool {
+        let Some(_) = self.reason[l.var().index()] else {
+            return false;
+        };
+        self.analyze_stack.clear();
+        self.analyze_stack.push(l);
+        let top = self.analyze_toclear.len();
+        while let Some(q) = self.analyze_stack.pop() {
+            let Some(r) = self.reason[q.var().index()] else {
+                // Decision encountered: `l` is not redundant. Undo marks.
+                for lit in self.analyze_toclear.drain(top..) {
+                    self.seen[lit.var().index()] = false;
+                }
+                return false;
+            };
+            let lits = self.clauses[r.0 as usize].lits.clone();
+            for &x in &lits[1..] {
+                let vi = x.var().index();
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    if self.reason[vi].is_none() {
+                        for lit in self.analyze_toclear.drain(top..) {
+                            self.seen[lit.var().index()] = false;
+                        }
+                        return false;
+                    }
+                    self.seen[vi] = true;
+                    self.analyze_stack.push(x);
+                    self.analyze_toclear.push(x);
+                }
+            }
+        }
+        true
+    }
+
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v.index()].is_undef() {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Sort learnt clauses by (lbd asc, activity desc); drop the worse half,
+        // keeping binary and locked (reason) clauses.
+        let mut refs = std::mem::take(&mut self.learnt_refs);
+        refs.sort_by(|&a, &b| {
+            let ca = &self.clauses[a.0 as usize];
+            let cb = &self.clauses[b.0 as usize];
+            ca.lbd
+                .cmp(&cb.lbd)
+                .then(cb.activity.partial_cmp(&ca.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let keep_count = refs.len() / 2;
+        let mut kept = Vec::with_capacity(keep_count + 8);
+        for (i, &r) in refs.iter().enumerate() {
+            let locked = {
+                let c = &self.clauses[r.0 as usize];
+                let w = c.lits[0];
+                self.reason[w.var().index()] == Some(r) && !self.lit_value(w).is_undef()
+            };
+            let c = &self.clauses[r.0 as usize];
+            if i < keep_count || c.lits.len() == 2 || locked || c.lbd <= 2 {
+                kept.push(r);
+            } else {
+                self.detach_clause(r);
+            }
+        }
+        self.learnt_refs = kept;
+        self.stats.learnt_clauses = self.learnt_refs.len() as u64;
+    }
+
+    fn detach_clause(&mut self, cref: ClauseRef) {
+        let (w0, w1) = {
+            let c = &self.clauses[cref.0 as usize];
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!w0).code()].retain(|w| w.cref != cref);
+        self.watches[(!w1).code()].retain(|w| w.cref != cref);
+        let c = &mut self.clauses[cref.0 as usize];
+        c.deleted = true;
+        c.lits = Vec::new();
+        self.free_list.push(cref.0);
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// On [`SolveResult::Unsat`], [`Solver::conflict_assumptions`] returns a
+    /// subset of the assumptions sufficient for unsatisfiability.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.model.clear();
+        self.conflict_assumptions.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.max_learnts = (self.stats.original_clauses as f64 * 0.3).max(1000.0);
+        let budget_start = self.stats.conflicts;
+        let mut restart_seq = 0u64;
+        let result = loop {
+            restart_seq += 1;
+            let conflict_limit = 64 * luby(restart_seq);
+            match self.search(conflict_limit, assumptions, budget_start) {
+                Some(r) => break r,
+                None => {
+                    self.stats.restarts += 1;
+                }
+            }
+        };
+        self.cancel_until(0);
+        result
+    }
+
+    /// After an unsatisfiable [`Solver::solve_with_assumptions`] call, the
+    /// subset of assumptions involved in the refutation.
+    pub fn conflict_assumptions(&self) -> &[Lit] {
+        &self.conflict_assumptions
+    }
+
+    /// Runs the CDCL search loop. Returns `None` to request a restart.
+    fn search(
+        &mut self,
+        conflict_limit: u64,
+        assumptions: &[Lit],
+        budget_start: u64,
+    ) -> Option<SolveResult> {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, bt) = self.analyze(confl);
+                // Backtracking may undo assumption levels; they are re-assumed
+                // by the decision loop below, which also detects failed
+                // assumptions.
+                self.cancel_until(bt);
+                let lbd = self.compute_lbd(&learnt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach_new_clause(learnt, true);
+                    self.clauses[cref.0 as usize].lbd = lbd;
+                    self.clause_bump(cref);
+                    self.unchecked_enqueue(asserting, Some(cref));
+                }
+                self.var_decay();
+                self.clause_decay();
+                if self.learnt_refs.len() as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+            } else {
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        return Some(SolveResult::Unknown);
+                    }
+                }
+                if conflicts_here >= conflict_limit {
+                    self.cancel_until(self.assumption_level(assumptions));
+                    return None; // restart
+                }
+                // Place assumptions as pseudo-decisions.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already satisfied: create an empty decision level.
+                            self.new_decision_level();
+                        }
+                        LBool::False => {
+                            self.analyze_final(a);
+                            return Some(SolveResult::Unsat);
+                        }
+                        LBool::Undef => {
+                            self.new_decision_level();
+                            self.unchecked_enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        self.model = self.assigns.clone();
+                        return Some(SolveResult::Sat);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.new_decision_level();
+                        let l = Lit::new(v, self.polarity[v.index()]);
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn assumption_level(&self, assumptions: &[Lit]) -> u32 {
+        (self.decision_level() as usize).min(assumptions.len()) as u32
+    }
+
+    /// Computes the subset of assumptions responsible for forcing `!failed`,
+    /// storing it (including `failed` itself) in `conflict_assumptions`.
+    fn analyze_final(&mut self, failed: Lit) {
+        self.conflict_assumptions.clear();
+        self.conflict_assumptions.push(failed);
+        if self.decision_level() == 0 {
+            return;
+        }
+        let fi = failed.var().index();
+        self.seen[fi] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let vi = l.var().index();
+            if !self.seen[vi] {
+                continue;
+            }
+            match self.reason[vi] {
+                None => {
+                    if self.level[vi] > 0 {
+                        self.conflict_assumptions.push(l);
+                    }
+                }
+                Some(r) => {
+                    let lits = self.clauses[r.0 as usize].lits.clone();
+                    for &x in &lits[1..] {
+                        if self.level[x.var().index()] > 0 {
+                            self.seen[x.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[vi] = false;
+        }
+        self.seen[fi] = false;
+    }
+
+    /// Value of `v` in the most recent satisfying assignment.
+    ///
+    /// Returns [`LBool::Undef`] if the last solve was not satisfiable or the
+    /// variable did not exist at that time.
+    pub fn model_value(&self, v: Var) -> LBool {
+        self.model.get(v.index()).copied().unwrap_or(LBool::Undef)
+    }
+
+    /// Value of a literal in the most recent satisfying assignment.
+    pub fn model_lit_value(&self, l: Lit) -> LBool {
+        self.model_value(l.var()).xor(!l.is_positive())
+    }
+}
+
+/// The Luby restart sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+fn luby(i: u64) -> u64 {
+    let mut x = i - 1; // 0-based index into the sequence
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_var().positive()).collect()
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause(&[v[0]]));
+        assert!(!s.add_clause(&[!v[0]]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause(&[v[0]]);
+        s.add_clause(&[!v[0], v[1]]);
+        s.add_clause(&[!v[1], v[2]]);
+        s.add_clause(&[!v[2], v[3]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for l in &v {
+            assert!(s.model_lit_value(*l).is_true());
+        }
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, x0 ^ x2 = 1 is unsatisfiable.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            s.add_clause(&[v[a], v[b]]);
+            s.add_clause(&[!v[a], !v[b]]);
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3() {
+        // PHP(4,3): 4 pigeons, 3 holes — classic small hard UNSAT instance.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..4)
+            .map(|_| (0..3).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for pigeon in &p {
+            s.add_clause(pigeon);
+        }
+        for h in 0..3 {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    s.add_clause(&[!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_sat_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        assert_eq!(s.solve_with_assumptions(&[!v[0]]), SolveResult::Sat);
+        assert!(s.model_lit_value(v[1]).is_true());
+        assert_eq!(s.solve_with_assumptions(&[!v[0], !v[1]]), SolveResult::Unsat);
+        // Solver remains usable and satisfiable without assumptions.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn conflict_assumption_subset() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[v[0]]);
+        assert_eq!(
+            s.solve_with_assumptions(&[v[2], !v[0]]),
+            SolveResult::Unsat
+        );
+        assert!(s.conflict_assumptions().contains(&!v[0]));
+    }
+
+    #[test]
+    fn budget_unknown() {
+        // A hard instance with a 0-conflict budget returns Unknown.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..7)
+            .map(|_| (0..6).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for pigeon in &p {
+            s.add_clause(pigeon);
+        }
+        for h in 0..6 {
+            for i in 0..7 {
+                for j in (i + 1)..7 {
+                    s.add_clause(&[!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_use() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[v[0], v[1], v[2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[!v[0]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[!v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_lit_value(v[2]).is_true());
+        s.add_clause(&[!v[2]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

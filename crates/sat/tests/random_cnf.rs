@@ -1,0 +1,111 @@
+//! Property tests: the CDCL solver must agree with a brute-force evaluator on
+//! random small CNF formulas, both for plain solving and under assumptions.
+
+use fmaverify_sat::{Cnf, Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+const MAX_VARS: usize = 8;
+
+fn arb_clause(num_vars: usize) -> impl Strategy<Value = Vec<Lit>> {
+    prop::collection::vec((0..num_vars, prop::bool::ANY), 1..=4).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(v, pos)| Lit::new(Var::from_index(v), pos))
+            .collect()
+    })
+}
+
+fn arb_cnf() -> impl Strategy<Value = Cnf> {
+    (2..=MAX_VARS).prop_flat_map(|nv| {
+        prop::collection::vec(arb_clause(nv), 0..24).prop_map(move |clauses| {
+            let mut cnf = Cnf::new();
+            cnf.num_vars = nv;
+            for c in &clauses {
+                cnf.add_clause(c);
+            }
+            cnf
+        })
+    })
+}
+
+fn brute_force_sat(cnf: &Cnf, fixed: &[Lit]) -> bool {
+    'outer: for bits in 0u32..(1 << cnf.num_vars) {
+        let val = |l: Lit| -> bool {
+            let b = bits >> l.var().index() & 1 == 1;
+            if l.is_positive() {
+                b
+            } else {
+                !b
+            }
+        };
+        for f in fixed {
+            if !val(*f) {
+                continue 'outer;
+            }
+        }
+        if cnf.clauses.iter().all(|c| c.iter().any(|&l| val(l))) {
+            return true;
+        }
+    }
+    false
+}
+
+fn model_satisfies(solver: &Solver, cnf: &Cnf) -> bool {
+    cnf.clauses
+        .iter()
+        .all(|c| c.iter().any(|&l| solver.model_lit_value(l).is_true()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_matches_brute_force(cnf in arb_cnf()) {
+        let mut solver = cnf.to_solver();
+        let expect = brute_force_sat(&cnf, &[]);
+        match solver.solve() {
+            SolveResult::Sat => {
+                prop_assert!(expect, "solver said SAT on an UNSAT formula");
+                prop_assert!(model_satisfies(&solver, &cnf), "model does not satisfy formula");
+            }
+            SolveResult::Unsat => prop_assert!(!expect, "solver said UNSAT on a SAT formula"),
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    #[test]
+    fn solver_matches_brute_force_under_assumptions(
+        cnf in arb_cnf(),
+        raw_assumptions in prop::collection::vec((0..MAX_VARS, prop::bool::ANY), 0..4),
+    ) {
+        let assumptions: Vec<Lit> = raw_assumptions
+            .into_iter()
+            .filter(|(v, _)| *v < cnf.num_vars)
+            .map(|(v, pos)| Lit::new(Var::from_index(v), pos))
+            .collect();
+        let mut solver = cnf.to_solver();
+        let expect = brute_force_sat(&cnf, &assumptions);
+        match solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Sat => {
+                prop_assert!(expect);
+                prop_assert!(model_satisfies(&solver, &cnf));
+                for a in &assumptions {
+                    prop_assert!(solver.model_lit_value(*a).is_true(), "assumption violated");
+                }
+            }
+            SolveResult::Unsat => {
+                prop_assert!(!expect);
+                // The reported conflict subset must itself be sufficient.
+                let core: Vec<Lit> = solver.conflict_assumptions().to_vec();
+                for l in &core {
+                    prop_assert!(assumptions.contains(l), "core literal not an assumption");
+                }
+                prop_assert!(!brute_force_sat(&cnf, &core), "conflict core is not a core");
+            }
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+        // The solver must remain usable afterwards.
+        let plain = solver.solve();
+        prop_assert_eq!(plain == SolveResult::Sat, brute_force_sat(&cnf, &[]));
+    }
+}

@@ -1,0 +1,421 @@
+//! Parametric IEEE-754 binary formats.
+//!
+//! The paper works at double precision (11-bit exponent, 52-bit fraction).
+//! To keep full formal sweeps tractable on one machine, everything in this
+//! reproduction is parametric in the format; [`FpFormat::DOUBLE`] recovers
+//! the paper's setting exactly.
+
+/// An IEEE-754 binary interchange format: 1 sign bit, `exp_bits` exponent
+/// bits and `frac_bits` fraction bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FpFormat {
+    exp_bits: u32,
+    frac_bits: u32,
+}
+
+/// Classification of a floating-point datum.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FpClass {
+    /// Not a number (quiet or signaling).
+    Nan,
+    /// Positive or negative infinity.
+    Inf,
+    /// Positive or negative zero.
+    Zero,
+    /// A denormal (subnormal) number.
+    Denormal,
+    /// A normal number.
+    Normal,
+}
+
+impl FpFormat {
+    /// IEEE-754 binary64, the paper's double-precision format.
+    pub const DOUBLE: FpFormat = FpFormat::new(11, 52);
+    /// IEEE-754 binary32.
+    pub const SINGLE: FpFormat = FpFormat::new(8, 23);
+    /// IEEE-754 binary16.
+    pub const HALF: FpFormat = FpFormat::new(5, 10);
+    /// A tiny format (4-bit exponent, 3-bit fraction) small enough for
+    /// exhaustive operand enumeration in tests.
+    pub const MICRO: FpFormat = FpFormat::new(4, 3);
+
+    /// Creates a format.
+    ///
+    /// # Panics
+    /// Panics if `exp_bits < 2`, `frac_bits < 1`, the total width exceeds 128
+    /// bits, or `frac_bits > 56` (the exact-intermediate datapath is sized
+    /// for up to slightly beyond double precision).
+    pub const fn new(exp_bits: u32, frac_bits: u32) -> FpFormat {
+        assert!(exp_bits >= 2, "need at least 2 exponent bits");
+        assert!(frac_bits >= 1, "need at least 1 fraction bit");
+        assert!(frac_bits <= 56, "datapath sized for frac_bits <= 56");
+        assert!(1 + exp_bits + frac_bits <= 128, "format too wide");
+        FpFormat {
+            exp_bits,
+            frac_bits,
+        }
+    }
+
+    /// Number of exponent bits.
+    pub const fn exp_bits(self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Number of fraction bits (excluding the implicit bit).
+    pub const fn frac_bits(self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total width in bits (sign + exponent + fraction).
+    pub const fn width(self) -> u32 {
+        1 + self.exp_bits + self.frac_bits
+    }
+
+    /// Exponent bias.
+    pub const fn bias(self) -> i32 {
+        (1 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Minimum unbiased exponent of a normal number (e.g. −1022 for binary64).
+    pub const fn emin(self) -> i32 {
+        1 - self.bias()
+    }
+
+    /// Maximum unbiased exponent of a normal number (e.g. 1023 for binary64).
+    pub const fn emax(self) -> i32 {
+        self.bias()
+    }
+
+    /// Mask of all valid bit positions.
+    pub const fn mask(self) -> u128 {
+        if self.width() >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.width()) - 1
+        }
+    }
+
+    /// Fraction-field mask.
+    pub const fn frac_mask(self) -> u128 {
+        (1u128 << self.frac_bits) - 1
+    }
+
+    /// Maximum biased exponent value (all ones, used by Inf/NaN).
+    pub const fn exp_max_biased(self) -> u32 {
+        (1 << self.exp_bits) - 1
+    }
+
+    /// Extracts the sign bit.
+    pub fn sign_of(self, bits: u128) -> bool {
+        bits >> (self.width() - 1) & 1 == 1
+    }
+
+    /// Extracts the biased exponent field.
+    pub fn biased_exp_of(self, bits: u128) -> u32 {
+        (bits >> self.frac_bits & ((1u128 << self.exp_bits) - 1)) as u32
+    }
+
+    /// Extracts the fraction field.
+    pub fn frac_of(self, bits: u128) -> u128 {
+        bits & self.frac_mask()
+    }
+
+    /// Packs sign, biased exponent, and fraction fields into a datum.
+    ///
+    /// # Panics
+    /// Panics if the fields exceed their widths.
+    pub fn pack(self, sign: bool, biased_exp: u32, frac: u128) -> u128 {
+        assert!(biased_exp <= self.exp_max_biased(), "exponent field overflow");
+        assert!(frac <= self.frac_mask(), "fraction field overflow");
+        (u128::from(sign) << (self.width() - 1))
+            | u128::from(biased_exp) << self.frac_bits
+            | frac
+    }
+
+    /// Classifies a datum.
+    pub fn classify(self, bits: u128) -> FpClass {
+        let e = self.biased_exp_of(bits);
+        let f = self.frac_of(bits);
+        if e == self.exp_max_biased() {
+            if f == 0 {
+                FpClass::Inf
+            } else {
+                FpClass::Nan
+            }
+        } else if e == 0 {
+            if f == 0 {
+                FpClass::Zero
+            } else {
+                FpClass::Denormal
+            }
+        } else {
+            FpClass::Normal
+        }
+    }
+
+    /// Is the datum any NaN?
+    pub fn is_nan(self, bits: u128) -> bool {
+        self.classify(bits) == FpClass::Nan
+    }
+
+    /// Is the datum a signaling NaN (NaN with the fraction MSB clear)?
+    pub fn is_signaling_nan(self, bits: u128) -> bool {
+        self.is_nan(bits) && bits >> (self.frac_bits - 1) & 1 == 0
+    }
+
+    /// The canonical quiet NaN (positive, fraction MSB set, rest zero).
+    pub fn quiet_nan(self) -> u128 {
+        self.pack(false, self.exp_max_biased(), 1u128 << (self.frac_bits - 1))
+    }
+
+    /// Infinity with the given sign.
+    pub fn inf(self, sign: bool) -> u128 {
+        self.pack(sign, self.exp_max_biased(), 0)
+    }
+
+    /// Zero with the given sign.
+    pub fn zero(self, sign: bool) -> u128 {
+        self.pack(sign, 0, 0)
+    }
+
+    /// One with the given sign.
+    pub fn one(self, sign: bool) -> u128 {
+        self.pack(sign, self.bias() as u32, 0)
+    }
+
+    /// The largest finite value with the given sign.
+    pub fn max_finite(self, sign: bool) -> u128 {
+        self.pack(sign, self.exp_max_biased() - 1, self.frac_mask())
+    }
+
+    /// The smallest positive denormal.
+    pub fn min_denormal(self, sign: bool) -> u128 {
+        self.pack(sign, 0, 1)
+    }
+
+    /// The smallest positive normal.
+    pub fn min_normal(self, sign: bool) -> u128 {
+        self.pack(sign, 1, 0)
+    }
+
+    /// Unpacks a finite nonzero datum into `(sign, integer significand m,
+    /// lsb_exponent E)` such that the value is `(-1)^sign * m * 2^E`.
+    ///
+    /// # Panics
+    /// Panics if the datum is zero, infinite, or NaN.
+    pub fn unpack_finite(self, bits: u128) -> (bool, u128, i32) {
+        let sign = self.sign_of(bits);
+        let e = self.biased_exp_of(bits);
+        let f = self.frac_of(bits);
+        match self.classify(bits) {
+            FpClass::Normal => (
+                sign,
+                f | 1u128 << self.frac_bits,
+                e as i32 - self.bias() - self.frac_bits as i32,
+            ),
+            FpClass::Denormal => (sign, f, self.emin() - self.frac_bits as i32),
+            _ => panic!("unpack_finite on non-finite or zero datum"),
+        }
+    }
+
+    /// Converts to an `f64` value (exact when the format is not wider than
+    /// binary64). Useful for display and tests.
+    pub fn to_f64(self, bits: u128) -> f64 {
+        match self.classify(bits) {
+            FpClass::Nan => f64::NAN,
+            FpClass::Inf => {
+                if self.sign_of(bits) {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            }
+            FpClass::Zero => {
+                if self.sign_of(bits) {
+                    -0.0
+                } else {
+                    0.0
+                }
+            }
+            FpClass::Normal | FpClass::Denormal => {
+                let (s, m, e) = self.unpack_finite(bits);
+                let v = times_pow2(m as f64, e);
+                if s {
+                    -v
+                } else {
+                    v
+                }
+            }
+        }
+    }
+}
+
+/// Computes `x * 2^e` in steps, avoiding the intermediate overflow that makes
+/// `2f64.powi(-1074)` underflow to zero.
+fn times_pow2(mut x: f64, mut e: i32) -> f64 {
+    while e > 500 {
+        x *= 2f64.powi(500);
+        e -= 500;
+    }
+    while e < -500 {
+        x *= 2f64.powi(-500);
+        e += 500;
+    }
+    x * 2f64.powi(e)
+}
+
+/// IEEE-754 rounding modes (the four the PowerPC architecture supports).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RoundingMode {
+    /// Round to nearest, ties to even (the default mode).
+    NearestEven,
+    /// Round toward zero (truncate).
+    TowardZero,
+    /// Round toward +infinity.
+    TowardPositive,
+    /// Round toward −infinity.
+    TowardNegative,
+}
+
+impl RoundingMode {
+    /// All four modes, for exhaustive sweeps.
+    pub const ALL: [RoundingMode; 4] = [
+        RoundingMode::NearestEven,
+        RoundingMode::TowardZero,
+        RoundingMode::TowardPositive,
+        RoundingMode::TowardNegative,
+    ];
+
+    /// 2-bit encoding used by the FPU netlists (PowerPC FPSCR\[RN\] order).
+    pub fn encode(self) -> u32 {
+        match self {
+            RoundingMode::NearestEven => 0,
+            RoundingMode::TowardZero => 1,
+            RoundingMode::TowardPositive => 2,
+            RoundingMode::TowardNegative => 3,
+        }
+    }
+
+    /// Decodes the 2-bit encoding.
+    ///
+    /// # Panics
+    /// Panics if `code > 3`.
+    pub fn decode(code: u32) -> RoundingMode {
+        match code {
+            0 => RoundingMode::NearestEven,
+            1 => RoundingMode::TowardZero,
+            2 => RoundingMode::TowardPositive,
+            3 => RoundingMode::TowardNegative,
+            _ => panic!("invalid rounding-mode code {code}"),
+        }
+    }
+}
+
+/// IEEE exception flags produced by an operation.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct Flags {
+    /// Invalid operation (e.g. `inf * 0`, signaling NaN input).
+    pub invalid: bool,
+    /// Result overflowed the largest finite value.
+    pub overflow: bool,
+    /// Result was tiny (before rounding) and inexact.
+    pub underflow: bool,
+    /// Result had to be rounded.
+    pub inexact: bool,
+}
+
+impl Flags {
+    /// Packs the flags into 4 bits (invalid, overflow, underflow, inexact
+    /// from LSB up), matching the FPU netlists' flag outputs.
+    pub fn encode(self) -> u32 {
+        u32::from(self.invalid)
+            | u32::from(self.overflow) << 1
+            | u32::from(self.underflow) << 2
+            | u32::from(self.inexact) << 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_constants() {
+        let f = FpFormat::DOUBLE;
+        assert_eq!(f.width(), 64);
+        assert_eq!(f.bias(), 1023);
+        assert_eq!(f.emin(), -1022);
+        assert_eq!(f.emax(), 1023);
+        assert_eq!(f.one(false), (1.0f64).to_bits() as u128);
+        assert_eq!(f.inf(false), f64::INFINITY.to_bits() as u128);
+        assert_eq!(f.zero(true), (-0.0f64).to_bits() as u128);
+        assert_eq!(f.max_finite(false), f64::MAX.to_bits() as u128);
+        assert_eq!(f.min_denormal(false), 1);
+        assert_eq!(f.min_normal(false), f64::MIN_POSITIVE.to_bits() as u128);
+    }
+
+    #[test]
+    fn classify_all_micro() {
+        let f = FpFormat::MICRO;
+        let mut counts = [0usize; 5];
+        for bits in 0..1u128 << f.width() {
+            let idx = match f.classify(bits) {
+                FpClass::Nan => 0,
+                FpClass::Inf => 1,
+                FpClass::Zero => 2,
+                FpClass::Denormal => 3,
+                FpClass::Normal => 4,
+            };
+            counts[idx] += 1;
+        }
+        assert_eq!(counts[0], 14); // 2 signs * 7 nonzero fracs
+        assert_eq!(counts[1], 2);
+        assert_eq!(counts[2], 2);
+        assert_eq!(counts[3], 14);
+        assert_eq!(counts[4], 2 * 14 * 8);
+    }
+
+    #[test]
+    fn unpack_roundtrip_against_f64() {
+        let f = FpFormat::DOUBLE;
+        for v in [1.0f64, -2.5, 0.1, 1e-310, f64::MIN_POSITIVE, f64::MAX] {
+            let bits = v.to_bits() as u128;
+            assert_eq!(f.to_f64(bits), v);
+            let (s, m, e) = f.unpack_finite(bits);
+            assert_eq!(s, v < 0.0);
+            let recon = super::times_pow2(m as f64, e) * if s { -1.0 } else { 1.0 };
+            assert_eq!(recon, v);
+        }
+    }
+
+    #[test]
+    fn nan_taxonomy() {
+        let f = FpFormat::DOUBLE;
+        let q = f.quiet_nan();
+        assert!(f.is_nan(q));
+        assert!(!f.is_signaling_nan(q));
+        let s = f.pack(false, f.exp_max_biased(), 1);
+        assert!(f.is_nan(s));
+        assert!(f.is_signaling_nan(s));
+        assert_eq!(q, f64::NAN.to_bits() as u128);
+    }
+
+    #[test]
+    fn rounding_mode_codes() {
+        for rm in RoundingMode::ALL {
+            assert_eq!(RoundingMode::decode(rm.encode()), rm);
+        }
+    }
+
+    #[test]
+    fn flags_encoding() {
+        let fl = Flags {
+            invalid: true,
+            overflow: false,
+            underflow: true,
+            inexact: true,
+        };
+        assert_eq!(fl.encode(), 0b1101);
+        assert_eq!(Flags::default().encode(), 0);
+    }
+}

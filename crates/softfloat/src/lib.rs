@@ -1,0 +1,37 @@
+//! A bit-accurate, parametric IEEE-754 fused-multiply-add oracle.
+//!
+//! This crate plays the role of the processor's *architectural specification*
+//! in the verification flow: the reference FPU netlist and the implementation
+//! FPU netlist are both validated against it in simulation, and the formal
+//! methodology proves the two netlists equivalent to each other.
+//!
+//! Supported: any binary format up to slightly beyond double precision
+//! ([`FpFormat`]), all four IEEE rounding modes ([`RoundingMode`]), denormal
+//! operands and results, NaN/infinity special cases, the IEEE exception
+//! flags ([`Flags`]), and the denormal-operands-as-zero mode of the paper's
+//! primary FPU (`*_with(..., daz = true)`).
+//!
+//! # Examples
+//!
+//! ```
+//! use fmaverify_softfloat::{fma, FpFormat, RoundingMode};
+//!
+//! let f = FpFormat::DOUBLE;
+//! let a = (0.1f64).to_bits() as u128;
+//! let b = (10.0f64).to_bits() as u128;
+//! let c = (-1.0f64).to_bits() as u128;
+//! // 0.1 * 10 - 1 is not zero in binary floating point; the fused result
+//! // exposes the representation error of 0.1.
+//! let r = fma(f, a, b, c, RoundingMode::NearestEven);
+//! assert_eq!(f64::from_bits(r.bits as u64), 0.1f64.mul_add(10.0, -1.0));
+//! ```
+
+#![warn(missing_docs)]
+
+mod format;
+mod ops;
+mod wide;
+
+pub use format::{Flags, FpClass, FpFormat, RoundingMode};
+pub use ops::{add_with, fma, fma_with, mul_with, negate, sub_with, FpResult};
+pub use wide::U256;

@@ -1,0 +1,606 @@
+//! Bit-accurate fused multiply-add, addition and multiplication.
+//!
+//! This is the executable counterpart of the processor's architectural
+//! specification: the oracle both FPU netlists are validated against. The
+//! computation is exact up to the single final rounding, using a 256-bit
+//! intermediate (the paper's 161-bit intermediate result plus guard
+//! headroom) and a sticky-bit compression of far-out operands exactly
+//! mirroring the paper's far-out cases.
+//!
+//! Tininess is detected *before* rounding (the PowerPC convention), and the
+//! underflow flag is raised when the result is tiny and inexact.
+
+use crate::format::{Flags, FpClass, FpFormat, RoundingMode};
+use crate::wide::U256;
+
+/// Result of an arithmetic operation: the output datum plus IEEE flags.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FpResult {
+    /// The result bit pattern in the operation's format.
+    pub bits: u128,
+    /// The exception flags raised.
+    pub flags: Flags,
+}
+
+/// Sign convention for an exactly-zero result produced from a zero product
+/// and a zero addend.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ZeroSign {
+    /// IEEE sum-of-zeros rule: equal signs keep the sign; opposite signs give
+    /// +0 except −0 under round-toward-negative. Used by FMA and ADD.
+    FromRounding,
+    /// The multiply instruction's rule: the product sign, always. The FPU
+    /// computes `A*B+0`, and the forced-zero addend must not disturb the sign
+    /// of an exact zero product.
+    Product,
+}
+
+/// Fused multiply-add `a*b + c` with denormal operands honored (full IEEE).
+pub fn fma(fmt: FpFormat, a: u128, b: u128, c: u128, rm: RoundingMode) -> FpResult {
+    fma_core(fmt, a, b, c, rm, false, ZeroSign::FromRounding)
+}
+
+/// Fused multiply-add with optional denormal-operands-are-zero behaviour
+/// (`daz = true` models the paper's primary FPU, which "maps denormal
+/// operands to zero" while still producing denormal results).
+pub fn fma_with(fmt: FpFormat, a: u128, b: u128, c: u128, rm: RoundingMode, daz: bool) -> FpResult {
+    fma_core(fmt, a, b, c, rm, daz, ZeroSign::FromRounding)
+}
+
+/// Addition `a + b`, computed as the FPU computes it: `a*1 + b`.
+pub fn add_with(fmt: FpFormat, a: u128, b: u128, rm: RoundingMode, daz: bool) -> FpResult {
+    fma_core(fmt, a, fmt.one(false), b, rm, daz, ZeroSign::FromRounding)
+}
+
+/// Subtraction `a - b` (addition with the second operand negated).
+pub fn sub_with(fmt: FpFormat, a: u128, b: u128, rm: RoundingMode, daz: bool) -> FpResult {
+    add_with(fmt, a, negate(fmt, b), rm, daz)
+}
+
+/// Multiplication `a * b`, computed as the FPU computes it: `a*b + 0` with
+/// the exact-zero sign taken from the product.
+pub fn mul_with(fmt: FpFormat, a: u128, b: u128, rm: RoundingMode, daz: bool) -> FpResult {
+    fma_core(fmt, a, b, fmt.zero(false), rm, daz, ZeroSign::Product)
+}
+
+/// Flips the sign bit.
+pub fn negate(fmt: FpFormat, a: u128) -> u128 {
+    a ^ 1u128 << (fmt.width() - 1)
+}
+
+fn apply_daz(fmt: FpFormat, x: u128, daz: bool) -> u128 {
+    if daz && fmt.classify(x) == FpClass::Denormal {
+        fmt.zero(fmt.sign_of(x))
+    } else {
+        x
+    }
+}
+
+fn fma_core(
+    fmt: FpFormat,
+    a: u128,
+    b: u128,
+    c: u128,
+    rm: RoundingMode,
+    daz: bool,
+    zero_sign: ZeroSign,
+) -> FpResult {
+    let mut flags = Flags::default();
+    let a = apply_daz(fmt, a, daz);
+    let b = apply_daz(fmt, b, daz);
+    let c = apply_daz(fmt, c, daz);
+    let (ca, cb, cc) = (fmt.classify(a), fmt.classify(b), fmt.classify(c));
+
+    // NaN propagation: any NaN in, canonical quiet NaN out; signaling NaNs
+    // raise invalid.
+    if ca == FpClass::Nan || cb == FpClass::Nan || cc == FpClass::Nan {
+        flags.invalid = fmt.is_signaling_nan(a)
+            || fmt.is_signaling_nan(b)
+            || fmt.is_signaling_nan(c);
+        return FpResult {
+            bits: fmt.quiet_nan(),
+            flags,
+        };
+    }
+
+    let sp = fmt.sign_of(a) ^ fmt.sign_of(b);
+
+    // Infinite product.
+    if ca == FpClass::Inf || cb == FpClass::Inf {
+        if ca == FpClass::Zero || cb == FpClass::Zero {
+            flags.invalid = true; // inf * 0
+            return FpResult {
+                bits: fmt.quiet_nan(),
+                flags,
+            };
+        }
+        if cc == FpClass::Inf && fmt.sign_of(c) != sp {
+            flags.invalid = true; // inf - inf
+            return FpResult {
+                bits: fmt.quiet_nan(),
+                flags,
+            };
+        }
+        return FpResult {
+            bits: fmt.inf(sp),
+            flags,
+        };
+    }
+    // Finite product, infinite addend.
+    if cc == FpClass::Inf {
+        return FpResult { bits: c, flags };
+    }
+
+    // Exactly-zero product.
+    if ca == FpClass::Zero || cb == FpClass::Zero {
+        if cc == FpClass::Zero {
+            let sc = fmt.sign_of(c);
+            let sign = if sp == sc {
+                sp
+            } else {
+                match zero_sign {
+                    ZeroSign::Product => sp,
+                    ZeroSign::FromRounding => rm == RoundingMode::TowardNegative,
+                }
+            };
+            return FpResult {
+                bits: fmt.zero(sign),
+                flags,
+            };
+        }
+        // 0 + c is exactly c.
+        return FpResult { bits: c, flags };
+    }
+
+    let (_, ma, ea) = fmt.unpack_finite(a);
+    let (_, mb, eb) = fmt.unpack_finite(b);
+    let mp = ma * mb; // exact: at most 2*(frac+1) <= 114 bits
+    let ep = ea + eb;
+
+    if cc == FpClass::Zero {
+        // Product plus a forced or operand zero: round the exact product.
+        return round_pack(fmt, sp, U256::from_u128(mp), ep, false, rm, &mut flags);
+    }
+
+    let sc = fmt.sign_of(c);
+    let (_, mc, ec) = fmt.unpack_finite(c);
+    let f = fmt.frac_bits() as i32;
+    let d = ep - ec;
+
+    if d > f + 4 {
+        // Far-out right (paper Figure 2d): the addend is far below the
+        // product and collapses to a sticky bit.
+        sticky_combine(fmt, sp, mp, ep, sc, rm, &mut flags)
+    } else if d < -(2 * f + 5) {
+        // Far-out left (paper Figure 2a): the product collapses to a sticky
+        // bit below the addend.
+        sticky_combine(fmt, sc, mc, ec, sp, rm, &mut flags)
+    } else {
+        // Overlap (paper Figures 2b/2c): exact alignment on a common grid.
+        let base = ep.min(ec);
+        let wp = U256::from_u128(mp).shl((ep - base) as u32);
+        let wc = U256::from_u128(mc).shl((ec - base) as u32);
+        if sp == sc {
+            round_pack(fmt, sp, wp.add(wc), base, false, rm, &mut flags)
+        } else {
+            match wp.cmp_value(wc) {
+                std::cmp::Ordering::Equal => {
+                    // Exact cancellation: +0, or −0 toward negative.
+                    FpResult {
+                        bits: fmt.zero(rm == RoundingMode::TowardNegative),
+                        flags,
+                    }
+                }
+                std::cmp::Ordering::Greater => {
+                    round_pack(fmt, sp, wp.sub(wc), base, false, rm, &mut flags)
+                }
+                std::cmp::Ordering::Less => {
+                    round_pack(fmt, sc, wc.sub(wp), base, false, rm, &mut flags)
+                }
+            }
+        }
+    }
+}
+
+/// Combines a dominant operand `(s_large, m_large * 2^e_large)` with a
+/// far-out operand of sign `s_small` that is strictly smaller than a quarter
+/// of the dominant operand's LSB weight: the small operand only contributes
+/// a sticky bit (and a borrow for effective subtraction).
+fn sticky_combine(
+    fmt: FpFormat,
+    s_large: bool,
+    m_large: u128,
+    e_large: i32,
+    s_small: bool,
+    rm: RoundingMode,
+    flags: &mut Flags,
+) -> FpResult {
+    let wide = U256::from_u128(m_large).shl(2);
+    let e_lsb = e_large - 2;
+    if s_large == s_small {
+        round_pack(fmt, s_large, wide, e_lsb, true, rm, flags)
+    } else {
+        round_pack(fmt, s_large, wide.dec(), e_lsb, true, rm, flags)
+    }
+}
+
+/// Rounds the exact value `(-1)^sign * mag * 2^e_lsb` (with `sticky_in`
+/// marking nonzero value strictly below `2^e_lsb`) into the format,
+/// updating flags.
+fn round_pack(
+    fmt: FpFormat,
+    sign: bool,
+    mag: U256,
+    e_lsb: i32,
+    sticky_in: bool,
+    rm: RoundingMode,
+    flags: &mut Flags,
+) -> FpResult {
+    debug_assert!(!mag.is_zero(), "exact zero handled by the caller");
+    let frac = fmt.frac_bits() as i32;
+    let bl = mag.bit_len() as i32;
+    let e_top = e_lsb + bl - 1;
+    // Target LSB weight: normal result keeps frac+1 bits; partial
+    // normalization stops at emin (denormal results).
+    let w = (e_top - frac).max(fmt.emin() - frac);
+    let drop = w - e_lsb;
+    let (kept, guard, sticky) = if drop > 0 {
+        let g = mag.bit(drop as u32 - 1);
+        let s = mag.any_below(drop as u32 - 1) || sticky_in;
+        (mag.shr(drop as u32), g, s)
+    } else {
+        (mag.shl((-drop) as u32), false, sticky_in)
+    };
+    let inexact = guard || sticky;
+    let tiny = e_top < fmt.emin();
+    let round_up = match rm {
+        RoundingMode::NearestEven => guard && (sticky || kept.bit(0)),
+        RoundingMode::TowardZero => false,
+        RoundingMode::TowardPositive => !sign && inexact,
+        RoundingMode::TowardNegative => sign && inexact,
+    };
+    let mut kept = if round_up { kept.inc() } else { kept };
+    let mut w = w;
+    if kept.bit_len() as i32 > frac + 1 {
+        // Rounding overflowed the significand to exactly 2^(frac+1).
+        kept = kept.shr(1);
+        w += 1;
+    }
+    debug_assert!(kept.fits_u128());
+    let m = kept.low_u128();
+    if m == 0 {
+        // The whole value rounded away (necessarily tiny and inexact).
+        flags.inexact = true;
+        flags.underflow = true;
+        return FpResult {
+            bits: fmt.zero(sign),
+            flags: *flags,
+        };
+    }
+    let e = w + frac; // exponent of the implicit-bit position
+    if m >> frac == 0 {
+        // Denormal result.
+        debug_assert_eq!(w, fmt.emin() - frac);
+        flags.inexact |= inexact;
+        flags.underflow |= tiny && inexact;
+        return FpResult {
+            bits: fmt.pack(sign, 0, m),
+            flags: *flags,
+        };
+    }
+    if e > fmt.emax() {
+        flags.overflow = true;
+        flags.inexact = true;
+        let bits = match rm {
+            RoundingMode::NearestEven => fmt.inf(sign),
+            RoundingMode::TowardZero => fmt.max_finite(sign),
+            RoundingMode::TowardPositive => {
+                if sign {
+                    fmt.max_finite(true)
+                } else {
+                    fmt.inf(false)
+                }
+            }
+            RoundingMode::TowardNegative => {
+                if sign {
+                    fmt.inf(true)
+                } else {
+                    fmt.max_finite(false)
+                }
+            }
+        };
+        return FpResult {
+            bits,
+            flags: *flags,
+        };
+    }
+    flags.inexact |= inexact;
+    flags.underflow |= tiny && inexact;
+    FpResult {
+        bits: fmt.pack(sign, (e + fmt.bias()) as u32, m & fmt.frac_mask()),
+        flags: *flags,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: FpFormat = FpFormat::DOUBLE;
+
+    fn d(v: f64) -> u128 {
+        v.to_bits() as u128
+    }
+
+    fn same_double(bits: u128, v: f64) -> bool {
+        if v.is_nan() {
+            D.is_nan(bits)
+        } else {
+            bits == v.to_bits() as u128
+        }
+    }
+
+    #[test]
+    fn double_fma_matches_host_rne() {
+        let cases = [
+            (1.5, 2.0, 0.25),
+            (0.1, 0.2, 0.3),
+            (-1.0, 1.0, 1.0),
+            (1e308, 10.0, -1e308),
+            (1e-300, 1e-300, 1e-300),
+            (3.0, -7.0, 21.0),
+            (1.0000000000000002, 1.0000000000000002, -1.0),
+            (5e-324, 0.5, 0.0),
+            (5e-324, 5e-324, 1e-320),
+            (f64::MAX, 2.0, f64::NEG_INFINITY),
+            (2.5, 2.5, -6.25),
+        ];
+        for (a, b, c) in cases {
+            let r = fma(D, d(a), d(b), d(c), RoundingMode::NearestEven);
+            let host = a.mul_add(b, c);
+            assert!(
+                same_double(r.bits, host),
+                "fma({a},{b},{c}) = {:#x}, host {:#x}",
+                r.bits,
+                host.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn double_add_mul_match_host_rne() {
+        let values = [
+            0.0, -0.0, 1.0, -1.0, 0.5, 3.1415926535, -2.75, 1e300, -1e300, 1e-308, 5e-324,
+            -5e-324, f64::MAX, f64::MIN_POSITIVE, 1.0000000000000002,
+        ];
+        for &a in &values {
+            for &b in &values {
+                let add = add_with(D, d(a), d(b), RoundingMode::NearestEven, false);
+                assert!(same_double(add.bits, a + b), "{a} + {b}");
+                let mul = mul_with(D, d(a), d(b), RoundingMode::NearestEven, false);
+                assert!(same_double(mul.bits, a * b), "{a} * {b}");
+                let sub = sub_with(D, d(a), d(b), RoundingMode::NearestEven, false);
+                assert!(same_double(sub.bits, a - b), "{a} - {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn special_values() {
+        let inf = D.inf(false);
+        let ninf = D.inf(true);
+        let qnan = D.quiet_nan();
+        let zero = D.zero(false);
+        let one = D.one(false);
+        let rm = RoundingMode::NearestEven;
+        // inf * 0 -> invalid NaN.
+        let r = fma(D, inf, zero, one, rm);
+        assert!(D.is_nan(r.bits) && r.flags.invalid);
+        // inf * 1 + (-inf) -> invalid NaN.
+        let r = fma(D, inf, one, ninf, rm);
+        assert!(D.is_nan(r.bits) && r.flags.invalid);
+        // inf * 1 + inf -> inf.
+        let r = fma(D, inf, one, inf, rm);
+        assert_eq!(r.bits, inf);
+        assert_eq!(r.flags, Flags::default());
+        // NaN propagation without invalid (quiet).
+        let r = fma(D, qnan, one, one, rm);
+        assert!(D.is_nan(r.bits) && !r.flags.invalid);
+        // Signaling NaN raises invalid.
+        let snan = D.pack(false, D.exp_max_biased(), 1);
+        let r = fma(D, snan, one, one, rm);
+        assert!(D.is_nan(r.bits) && r.flags.invalid);
+        // Finite + inf -> inf.
+        let r = fma(D, one, one, ninf, rm);
+        assert_eq!(r.bits, ninf);
+    }
+
+    #[test]
+    fn zero_sign_rules() {
+        let pz = D.zero(false);
+        let nz = D.zero(true);
+        let one = D.one(false);
+        // (+0 * 1) + (-0): signs differ -> +0 except RTN.
+        for rm in RoundingMode::ALL {
+            let r = fma(D, pz, one, nz, rm);
+            let expect = if rm == RoundingMode::TowardNegative {
+                nz
+            } else {
+                pz
+            };
+            assert_eq!(r.bits, expect, "rm {rm:?}");
+        }
+        // (-0 * 1) + (-0) keeps -0 in every mode.
+        for rm in RoundingMode::ALL {
+            let r = fma(D, nz, one, nz, rm);
+            assert_eq!(r.bits, nz);
+        }
+        // mul: -1 * 0 gives -0 in every mode (the Product zero-sign rule).
+        for rm in RoundingMode::ALL {
+            let r = mul_with(D, d(-1.0), pz, rm, false);
+            assert_eq!(r.bits, nz, "rm {rm:?}");
+        }
+        // Exact cancellation 1 - 1: +0 except RTN.
+        for rm in RoundingMode::ALL {
+            let r = sub_with(D, one, one, rm, false);
+            let expect = if rm == RoundingMode::TowardNegative {
+                nz
+            } else {
+                pz
+            };
+            assert_eq!(r.bits, expect);
+        }
+    }
+
+    #[test]
+    fn directed_rounding_double() {
+        // 1 + 2^-60 is inexact; check all four modes.
+        let one = D.one(false);
+        let tiny = d(2f64.powi(-60));
+        let next = d(1.0 + f64::EPSILON);
+        for (rm, expect) in [
+            (RoundingMode::NearestEven, one),
+            (RoundingMode::TowardZero, one),
+            (RoundingMode::TowardPositive, next),
+            (RoundingMode::TowardNegative, one),
+        ] {
+            let r = add_with(D, one, tiny, rm, false);
+            assert_eq!(r.bits, expect, "rm {rm:?}");
+            assert!(r.flags.inexact);
+        }
+        // -1 - 2^-60: toward negative moves away from zero.
+        let none = D.one(true);
+        let nnext = d(-(1.0 + f64::EPSILON));
+        let r = add_with(D, none, negate(D, tiny), RoundingMode::TowardNegative, false);
+        assert_eq!(r.bits, nnext);
+        let r = add_with(D, none, negate(D, tiny), RoundingMode::TowardPositive, false);
+        assert_eq!(r.bits, none);
+    }
+
+    #[test]
+    fn overflow_behaviour() {
+        let max = D.max_finite(false);
+        let rm_cases = [
+            (RoundingMode::NearestEven, D.inf(false)),
+            (RoundingMode::TowardZero, max),
+            (RoundingMode::TowardPositive, D.inf(false)),
+            (RoundingMode::TowardNegative, max),
+        ];
+        for (rm, expect) in rm_cases {
+            let r = mul_with(D, max, d(2.0), rm, false);
+            assert_eq!(r.bits, expect, "rm {rm:?}");
+            assert!(r.flags.overflow && r.flags.inexact);
+        }
+        // Negative overflow mirrors.
+        let r = mul_with(D, D.max_finite(true), d(2.0), RoundingMode::TowardPositive, false);
+        assert_eq!(r.bits, D.max_finite(true));
+        let r = mul_with(D, D.max_finite(true), d(2.0), RoundingMode::TowardNegative, false);
+        assert_eq!(r.bits, D.inf(true));
+    }
+
+    #[test]
+    fn underflow_and_denormals() {
+        // min_normal / 2 is denormal: tiny and exact -> no underflow flag.
+        let half = d(0.5);
+        let r = mul_with(D, D.min_normal(false), half, RoundingMode::NearestEven, false);
+        assert_eq!(r.bits, d(f64::MIN_POSITIVE / 2.0));
+        assert!(!r.flags.underflow && !r.flags.inexact);
+        // min_denormal * 0.6 is tiny and inexact -> underflow.
+        let r = mul_with(D, D.min_denormal(false), d(0.6), RoundingMode::NearestEven, false);
+        assert!(r.flags.underflow && r.flags.inexact);
+        assert_eq!(r.bits, D.min_denormal(false)); // rounds to nearest denormal
+        // Rounds away to zero toward zero.
+        let r = mul_with(D, D.min_denormal(false), d(0.4), RoundingMode::TowardZero, false);
+        assert_eq!(r.bits, D.zero(false));
+        assert!(r.flags.underflow && r.flags.inexact);
+    }
+
+    #[test]
+    fn denormal_product_of_normals() {
+        // The paper's "interesting hidden case": a product of two normals can
+        // be denormal (e.g. 2^-537 * 2^-537 = 2^-1074 at double precision).
+        let a = d(2f64.powi(-537));
+        let r = mul_with(D, a, a, RoundingMode::NearestEven, false);
+        assert_eq!(r.bits, D.min_denormal(false));
+        assert_eq!(D.classify(r.bits), FpClass::Denormal);
+        assert!(!r.flags.inexact);
+        // Adding zero must denormalize identically.
+        let r2 = fma(D, a, a, D.zero(false), RoundingMode::NearestEven);
+        assert_eq!(r2.bits, r.bits);
+    }
+
+    #[test]
+    fn daz_mode() {
+        let den = D.min_denormal(false);
+        let one = D.one(false);
+        // Full IEEE: denormal + 1 rounds to 1 (inexact).
+        let r = add_with(D, den, one, RoundingMode::NearestEven, false);
+        assert_eq!(r.bits, one);
+        assert!(r.flags.inexact);
+        // DAZ: the denormal operand is treated as +0; result exact 1.
+        let r = add_with(D, den, one, RoundingMode::NearestEven, true);
+        assert_eq!(r.bits, one);
+        assert!(!r.flags.inexact);
+        // DAZ with denormal times huge: exact zero product.
+        let r = mul_with(D, den, d(1e300), RoundingMode::NearestEven, true);
+        assert_eq!(r.bits, D.zero(false));
+        // Full IEEE: nonzero.
+        let r = mul_with(D, den, d(1e300), RoundingMode::NearestEven, false);
+        assert_ne!(r.bits, D.zero(false));
+    }
+
+    #[test]
+    fn far_out_sticky_cases() {
+        // Far-out right: product dominates, addend is a sticky bit.
+        // 1.5 * 2^200 - 5e-324: just below 1.5*2^200; RNE keeps it, RTZ/RTN
+        // step down one ulp.
+        let big = d(1.5 * 2f64.powi(200));
+        let tiny = D.min_denormal(false);
+        let one = D.one(false);
+        let r = fma(D, big, one, negate(D, tiny), RoundingMode::NearestEven);
+        assert_eq!(r.bits, big);
+        assert!(r.flags.inexact);
+        let r = fma(D, big, one, negate(D, tiny), RoundingMode::TowardZero);
+        let below = d(f64::from_bits((1.5 * 2f64.powi(200)).to_bits() - 1));
+        assert_eq!(r.bits, below);
+        let r = fma(D, big, one, negate(D, tiny), RoundingMode::TowardNegative);
+        assert_eq!(r.bits, below);
+        let r = fma(D, big, one, negate(D, tiny), RoundingMode::TowardPositive);
+        assert_eq!(r.bits, big);
+        // Far-out left: addend dominates.
+        let r = fma(D, tiny, tiny, big, RoundingMode::NearestEven);
+        assert_eq!(r.bits, big);
+        assert!(r.flags.inexact);
+        let r = fma(D, tiny, tiny, big, RoundingMode::TowardPositive);
+        let above = d(f64::from_bits((1.5 * 2f64.powi(200)).to_bits() + 1));
+        assert_eq!(r.bits, above);
+    }
+
+    #[test]
+    fn massive_cancellation() {
+        // (1 + eps) * (1 - eps) - 1 = -eps^2 exactly (fits the wide
+        // intermediate); only FMA can see it.
+        let eps = f64::EPSILON;
+        let a = d(1.0 + eps);
+        let b = d(1.0 - eps);
+        let r = fma(D, a, b, d(-1.0), RoundingMode::NearestEven);
+        let expect = (1.0 + eps).mul_add(1.0 - eps, -1.0);
+        assert_eq!(r.bits, d(expect));
+        assert_eq!(expect, -(eps * eps));
+        assert!(!r.flags.inexact, "the fused result is exact");
+    }
+
+    #[test]
+    fn commutativity_of_product() {
+        let vals = [d(1.5), d(-2.25), d(1e-310), d(3.7), D.max_finite(false)];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    for rm in RoundingMode::ALL {
+                        assert_eq!(fma(D, a, b, c, rm), fma(D, b, a, c, rm));
+                    }
+                }
+            }
+        }
+    }
+}

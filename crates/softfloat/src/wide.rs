@@ -1,0 +1,267 @@
+//! A minimal 256-bit unsigned integer, just wide enough to hold the exact
+//! intermediate result of a double-precision fused multiply-add (161 bits
+//! plus guard headroom).
+
+use std::cmp::Ordering;
+
+/// A 256-bit unsigned integer stored as four little-endian 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct U256 {
+    limbs: [u64; 4],
+}
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256 { limbs: [0; 4] };
+
+    /// Builds from a `u128`.
+    pub fn from_u128(v: u128) -> U256 {
+        U256 {
+            limbs: [v as u64, (v >> 64) as u64, 0, 0],
+        }
+    }
+
+    /// Truncates to `u128` (low 128 bits).
+    pub fn low_u128(self) -> u128 {
+        u128::from(self.limbs[0]) | u128::from(self.limbs[1]) << 64
+    }
+
+    /// Returns `true` iff the value fits in 128 bits.
+    pub fn fits_u128(self) -> bool {
+        self.limbs[2] == 0 && self.limbs[3] == 0
+    }
+
+    /// Is the value zero?
+    pub fn is_zero(self) -> bool {
+        self.limbs == [0; 4]
+    }
+
+    /// Bit length: position of the highest set bit plus one (0 for zero).
+    pub fn bit_len(self) -> u32 {
+        for i in (0..4).rev() {
+            if self.limbs[i] != 0 {
+                return 64 * i as u32 + 64 - self.limbs[i].leading_zeros();
+            }
+        }
+        0
+    }
+
+    /// Tests bit `i`.
+    pub fn bit(self, i: u32) -> bool {
+        if i >= 256 {
+            return false;
+        }
+        self.limbs[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Returns `true` iff any bit strictly below position `i` is set.
+    pub fn any_below(self, i: u32) -> bool {
+        if i == 0 {
+            return false;
+        }
+        if i >= 256 {
+            return !self.is_zero();
+        }
+        let full = (i / 64) as usize;
+        for limb in &self.limbs[..full] {
+            if *limb != 0 {
+                return true;
+            }
+        }
+        let rem = i % 64;
+        rem != 0 && self.limbs[full] << (64 - rem) != 0
+    }
+
+    /// Wrapping addition.
+    ///
+    /// # Panics
+    /// Panics in debug builds on overflow past 256 bits (the FMA datapath
+    /// never exceeds ~220 bits).
+    pub fn add(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        debug_assert_eq!(carry, 0, "U256 addition overflow");
+        U256 { limbs: out }
+    }
+
+    /// Subtraction.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `rhs > self`.
+    pub fn sub(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0, "U256 subtraction underflow");
+        U256 { limbs: out }
+    }
+
+    /// Subtracts one.
+    pub fn dec(self) -> U256 {
+        self.sub(U256::from_u128(1))
+    }
+
+    /// Adds one.
+    pub fn inc(self) -> U256 {
+        self.add(U256::from_u128(1))
+    }
+
+    /// Left shift.
+    pub fn shl(self, sh: u32) -> U256 {
+        if sh == 0 {
+            return self;
+        }
+        if sh >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (sh / 64) as usize;
+        let bit_shift = sh % 64;
+        let mut out = [0u64; 4];
+        for i in (limb_shift..4).rev() {
+            let src = i - limb_shift;
+            let mut v = self.limbs[src] << bit_shift;
+            if bit_shift != 0 && src > 0 {
+                v |= self.limbs[src - 1] >> (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        U256 { limbs: out }
+    }
+
+    /// Logical right shift.
+    pub fn shr(self, sh: u32) -> U256 {
+        if sh == 0 {
+            return self;
+        }
+        if sh >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (sh / 64) as usize;
+        let bit_shift = sh % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 - limb_shift {
+            let src = i + limb_shift;
+            let mut v = self.limbs[src] >> bit_shift;
+            if bit_shift != 0 && src + 1 < 4 {
+                v |= self.limbs[src + 1] << (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        U256 { limbs: out }
+    }
+
+    /// Comparison.
+    pub fn cmp_value(self, rhs: U256) -> Ordering {
+        for i in (0..4).rev() {
+            match self.limbs[i].cmp(&rhs.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_bits() {
+        let v = U256::from_u128(0x1234_5678_9abc_def0_1122_3344_5566_7788);
+        assert_eq!(v.low_u128(), 0x1234_5678_9abc_def0_1122_3344_5566_7788);
+        assert!(v.fits_u128());
+        assert_eq!(v.bit_len(), 125);
+        assert!(v.bit(3));
+        assert!(!v.bit(0));
+        assert!(U256::ZERO.is_zero());
+        assert_eq!(U256::ZERO.bit_len(), 0);
+    }
+
+    #[test]
+    fn add_sub_carry_chains() {
+        let a = U256::from_u128(u128::MAX);
+        let one = U256::from_u128(1);
+        let b = a.add(one);
+        assert!(!b.fits_u128());
+        assert_eq!(b.bit_len(), 129);
+        assert_eq!(b.sub(one), a);
+        assert_eq!(b.dec(), a);
+        assert_eq!(a.inc(), b);
+    }
+
+    #[test]
+    fn shifts() {
+        let v = U256::from_u128(0xdead_beef);
+        assert_eq!(v.shl(64).shr(64), v);
+        assert_eq!(v.shl(130).shr(130), v);
+        assert_eq!(v.shl(256), U256::ZERO);
+        assert_eq!(v.shr(256), U256::ZERO);
+        assert_eq!(v.shl(0), v);
+        let hi = v.shl(200);
+        assert_eq!(hi.bit_len(), 232);
+        assert_eq!(hi.shr(200), v);
+    }
+
+    #[test]
+    fn any_below() {
+        let v = U256::from_u128(0b1010_0000);
+        assert!(!v.any_below(5));
+        assert!(!v.any_below(0));
+        assert!(v.any_below(6));
+        assert!(v.any_below(8));
+        assert!(v.any_below(300));
+        let w = U256::from_u128(1).shl(128);
+        assert!(!w.any_below(128));
+        assert!(w.any_below(129));
+    }
+
+    #[test]
+    fn compare() {
+        let a = U256::from_u128(5).shl(100);
+        let b = U256::from_u128(6).shl(100);
+        assert_eq!(a.cmp_value(b), Ordering::Less);
+        assert_eq!(b.cmp_value(a), Ordering::Greater);
+        assert_eq!(a.cmp_value(a), Ordering::Equal);
+        let c = U256::from_u128(1).shl(200);
+        assert_eq!(c.cmp_value(b), Ordering::Greater);
+    }
+
+    #[test]
+    fn random_vs_u128() {
+        // Cross-check against native u128 arithmetic where values fit.
+        let mut x: u128 = 0x1234_5678;
+        for i in 0..2000u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = x >> 4; // keep below 124 bits
+            let b = (x.rotate_left(40)) >> 4;
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let ua = U256::from_u128(a);
+            let ub = U256::from_u128(b);
+            assert_eq!(
+                U256::from_u128(hi).sub(U256::from_u128(lo)).low_u128(),
+                hi - lo
+            );
+            let sum = ua.add(ub);
+            assert_eq!(sum.low_u128(), a.wrapping_add(b), "sum iter {i}");
+            let sh = (i % 120) as u32;
+            assert_eq!(ua.shr(sh).low_u128(), a >> sh);
+            if a.leading_zeros() >= sh {
+                assert_eq!(ua.shl(sh).low_u128(), a << sh);
+            }
+            assert_eq!(ua.cmp_value(ub), a.cmp(&b));
+            assert_eq!(ua.bit_len(), 128 - a.leading_zeros());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Algebraic property tests of the softfloat oracle at double precision:
+//! identities and ordering facts that IEEE-754 arithmetic must satisfy in
+//! every rounding mode. These complement the exhaustive tiny-format check
+//! with properties that hold at full width.
+
+use fmaverify_softfloat::{
+    add_with, fma, fma_with, mul_with, negate, sub_with, FpClass, FpFormat, RoundingMode,
+};
+use proptest::prelude::*;
+
+const D: FpFormat = FpFormat::DOUBLE;
+
+fn finite(x: u64) -> bool {
+    matches!(
+        D.classify(x as u128),
+        FpClass::Zero | FpClass::Normal | FpClass::Denormal
+    )
+}
+
+fn opposite(rm: RoundingMode) -> RoundingMode {
+    match rm {
+        RoundingMode::TowardPositive => RoundingMode::TowardNegative,
+        RoundingMode::TowardNegative => RoundingMode::TowardPositive,
+        other => other,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn product_commutes(a: u64, b: u64, c: u64) {
+        for rm in RoundingMode::ALL {
+            prop_assert_eq!(
+                fma(D, a as u128, b as u128, c as u128, rm),
+                fma(D, b as u128, a as u128, c as u128, rm)
+            );
+        }
+    }
+
+    #[test]
+    fn addition_commutes(a: u64, b: u64) {
+        for rm in RoundingMode::ALL {
+            let x = add_with(D, a as u128, b as u128, rm, false);
+            let y = add_with(D, b as u128, a as u128, rm, false);
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn negation_symmetry(a: u64, b: u64, c: u64) {
+        // -(a*b + c) computed directly vs via negated operands:
+        // fma(-a, b, -c) == -(fma(a, b, c)) with the rounding direction
+        // mirrored.
+        let (a, b, c) = (a as u128, b as u128, c as u128);
+        for rm in RoundingMode::ALL {
+            let lhs = fma(D, negate(D, a), b, negate(D, c), rm);
+            let rhs = fma(D, a, b, c, opposite(rm));
+            if D.is_nan(lhs.bits) {
+                prop_assert!(D.is_nan(rhs.bits));
+            } else {
+                prop_assert_eq!(lhs.bits, negate(D, rhs.bits));
+                prop_assert_eq!(lhs.flags, rhs.flags);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_by_one_is_identity(a: u64) {
+        prop_assume!(finite(a));
+        for rm in RoundingMode::ALL {
+            let r = mul_with(D, a as u128, D.one(false), rm, false);
+            prop_assert_eq!(r.bits, a as u128);
+            prop_assert_eq!(r.flags.encode(), 0);
+        }
+    }
+
+    #[test]
+    fn addition_of_zero_is_identity(a: u64) {
+        prop_assume!(finite(a));
+        prop_assume!(D.classify(a as u128) != FpClass::Zero);
+        for rm in RoundingMode::ALL {
+            let r = add_with(D, a as u128, D.zero(false), rm, false);
+            prop_assert_eq!(r.bits, a as u128);
+            prop_assert_eq!(r.flags.encode(), 0);
+        }
+    }
+
+    #[test]
+    fn subtraction_of_self_is_zero(a: u64) {
+        prop_assume!(finite(a));
+        for rm in RoundingMode::ALL {
+            let r = sub_with(D, a as u128, a as u128, rm, false);
+            prop_assert_eq!(D.classify(r.bits), FpClass::Zero);
+            let expect_neg = rm == RoundingMode::TowardNegative
+                && D.classify(a as u128) != FpClass::Zero;
+            // For a == ±0, 0-0 keeps IEEE's sum-of-zeros rule instead.
+            if D.classify(a as u128) != FpClass::Zero {
+                prop_assert_eq!(D.sign_of(r.bits), expect_neg);
+            }
+        }
+    }
+
+    #[test]
+    fn directed_modes_bracket_nearest(a: u64, b: u64, c: u64) {
+        // value(RTN) <= value(RNE) <= value(RTP) whenever all are finite.
+        let (a, b, c) = (a as u128, b as u128, c as u128);
+        let dn = fma(D, a, b, c, RoundingMode::TowardNegative);
+        let ne = fma(D, a, b, c, RoundingMode::NearestEven);
+        let up = fma(D, a, b, c, RoundingMode::TowardPositive);
+        prop_assume!(!D.is_nan(ne.bits));
+        let v = |r: u128| D.to_f64(r);
+        prop_assert!(v(dn.bits) <= v(ne.bits), "{} <= {}", v(dn.bits), v(ne.bits));
+        prop_assert!(v(ne.bits) <= v(up.bits), "{} <= {}", v(ne.bits), v(up.bits));
+    }
+
+    #[test]
+    fn toward_zero_never_grows_magnitude(a: u64, b: u64, c: u64) {
+        let (a, b, c) = (a as u128, b as u128, c as u128);
+        let tz = fma(D, a, b, c, RoundingMode::TowardZero);
+        let ne = fma(D, a, b, c, RoundingMode::NearestEven);
+        prop_assume!(!D.is_nan(ne.bits));
+        prop_assert!(
+            D.to_f64(tz.bits).abs() <= D.to_f64(ne.bits).abs(),
+            "tz {} vs ne {}",
+            D.to_f64(tz.bits),
+            D.to_f64(ne.bits)
+        );
+    }
+
+    #[test]
+    fn exact_results_raise_no_flags(af in 0u64..(1 << 26), bf in 0u64..(1 << 26)) {
+        // Products of 26-bit integers are exact in binary64.
+        let a = (af as f64).to_bits() as u128;
+        let b = (bf as f64).to_bits() as u128;
+        for rm in RoundingMode::ALL {
+            let r = mul_with(D, a, b, rm, false);
+            prop_assert!(!r.flags.inexact && !r.flags.overflow && !r.flags.underflow);
+            prop_assert_eq!(D.to_f64(r.bits), af as f64 * bf as f64);
+        }
+    }
+
+    #[test]
+    fn daz_equals_manual_flush(a: u64, b: u64, c: u64) {
+        let flush = |x: u128| {
+            if D.classify(x) == FpClass::Denormal {
+                D.zero(D.sign_of(x))
+            } else {
+                x
+            }
+        };
+        for rm in RoundingMode::ALL {
+            let daz = fma_with(D, a as u128, b as u128, c as u128, rm, true);
+            let man = fma_with(
+                D,
+                flush(a as u128),
+                flush(b as u128),
+                flush(c as u128),
+                rm,
+                false,
+            );
+            prop_assert_eq!(daz, man);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Exhaustive validation of the softfloat FMA against an independent naive
+//! oracle on a tiny format, plus property tests against the host FPU at
+//! double precision.
+//!
+//! The naive oracle computes the exact value of `a*b + c` as an integer
+//! scaled by a common power of two (possible because the tiny format's
+//! exponent range is small), then rounds by *searching* the sorted list of
+//! representable values — a completely different algorithm from the
+//! implementation's guard/sticky rounding.
+
+use fmaverify_softfloat::{add_with, fma, fma_with, mul_with, FpClass, FpFormat, RoundingMode};
+use proptest::prelude::*;
+
+/// Exact finite value as `mag * 2^E0` for a fixed common exponent `E0`.
+fn exact_scaled(fmt: FpFormat, bits: u128, e0: i32) -> i128 {
+    match fmt.classify(bits) {
+        FpClass::Zero => 0,
+        FpClass::Normal | FpClass::Denormal => {
+            let (s, m, e) = fmt.unpack_finite(bits);
+            let v = (m as i128) << (e - e0) as u32;
+            if s {
+                -v
+            } else {
+                v
+            }
+        }
+        _ => panic!("not finite"),
+    }
+}
+
+/// All non-negative finite magnitudes of the format (scaled by 2^-e0),
+/// sorted ascending, plus one extra entry for the overflow threshold
+/// 2^(emax+1).
+fn candidate_magnitudes(fmt: FpFormat, e0: i32) -> Vec<(i128, u128)> {
+    let mut out = Vec::new();
+    for bits in 0..1u128 << (fmt.width() - 1) {
+        match fmt.classify(bits) {
+            FpClass::Zero | FpClass::Normal | FpClass::Denormal => {
+                out.push((exact_scaled(fmt, bits, e0), bits));
+            }
+            _ => {}
+        }
+    }
+    out.sort();
+    // Overflow sentinel: 2^(emax+1) with the encoding of infinity.
+    let sentinel = 1i128 << (fmt.emax() + 1 - e0) as u32;
+    out.push((sentinel, fmt.inf(false)));
+    out
+}
+
+/// Result bits when an operation overflows, per rounding mode.
+fn overflow_bits(fmt: FpFormat, sign: bool, rm: RoundingMode) -> u128 {
+    match rm {
+        RoundingMode::NearestEven => fmt.inf(sign),
+        RoundingMode::TowardZero => fmt.max_finite(sign),
+        RoundingMode::TowardPositive => {
+            if sign {
+                fmt.max_finite(true)
+            } else {
+                fmt.inf(false)
+            }
+        }
+        RoundingMode::TowardNegative => {
+            if sign {
+                fmt.inf(true)
+            } else {
+                fmt.max_finite(false)
+            }
+        }
+    }
+}
+
+/// Independent rounding: pick the representable value for the exact result
+/// `mag * 2^e0` by candidate search. Returns `(bits, overflow, inexact)`.
+fn naive_round(
+    fmt: FpFormat,
+    candidates: &[(i128, u128)],
+    exact: i128,
+    rm: RoundingMode,
+    zero_sign_neg: bool,
+) -> (u128, bool, bool) {
+    let sign = exact < 0;
+    let mag = exact.unsigned_abs() as i128;
+    if mag == 0 {
+        return (fmt.zero(zero_sign_neg), false, false);
+    }
+    let (sentinel, _) = *candidates.last().expect("sentinel present");
+    if mag >= sentinel {
+        // At or beyond 2^(emax+1): overflow in every mode.
+        return (overflow_bits(fmt, sign, rm), true, true);
+    }
+    // Find neighbors lo <= mag <= hi among candidate magnitudes.
+    let idx = candidates.partition_point(|&(v, _)| v <= mag);
+    let (lo_v, lo_bits) = candidates[idx - 1];
+    let exact_hit = lo_v == mag;
+    if exact_hit {
+        return (apply_sign(fmt, lo_bits, sign), false, false);
+    }
+    let (hi_v, hi_bits) = candidates[idx];
+    let pick_hi = match rm {
+        RoundingMode::TowardZero => false,
+        RoundingMode::TowardPositive => !sign,
+        RoundingMode::TowardNegative => sign,
+        RoundingMode::NearestEven => {
+            let d_lo = mag - lo_v;
+            let d_hi = hi_v - mag;
+            if d_lo != d_hi {
+                d_hi < d_lo
+            } else {
+                // Tie: pick the candidate with even significand encoding.
+                hi_bits & 1 == 0
+            }
+        }
+    };
+    if pick_hi && hi_bits == fmt.inf(false) {
+        // Rounded up past the largest finite value.
+        return (fmt.inf(sign), true, true);
+    }
+    let chosen = if pick_hi { hi_bits } else { lo_bits };
+    (apply_sign(fmt, chosen, sign), false, true)
+}
+
+fn apply_sign(fmt: FpFormat, bits: u128, sign: bool) -> u128 {
+    if sign {
+        bits | 1u128 << (fmt.width() - 1)
+    } else {
+        bits
+    }
+}
+
+/// The naive FMA oracle for finite operands.
+fn naive_fma(
+    fmt: FpFormat,
+    candidates: &[(i128, u128)],
+    e0: i32,
+    a: u128,
+    b: u128,
+    c: u128,
+    rm: RoundingMode,
+) -> (u128, bool, bool, bool) {
+    // Product: exact in scaled space with base 2*e0 for the operand parts.
+    let (pa, pb, pc) = (
+        exact_scaled(fmt, a, e0),
+        exact_scaled(fmt, b, e0),
+        exact_scaled(fmt, c, e0),
+    );
+    // a*b has scale 2^(2*e0); bring c to the same scale.
+    let exact = pa * pb + pc * (1i128 << (-e0) as u32);
+    // Round in the 2^(2*e0) scale: rebuild candidates scaled accordingly.
+    let scaled: Vec<(i128, u128)> = candidates
+        .iter()
+        .map(|&(v, bits)| (v * (1i128 << (-e0) as u32), bits))
+        .collect();
+    let zero_sign_neg = if exact == 0 {
+        let sp = fmt.sign_of(a) ^ fmt.sign_of(b);
+        let prod_zero = fmt.classify(a) == FpClass::Zero || fmt.classify(b) == FpClass::Zero;
+        let sc = fmt.sign_of(c);
+        if prod_zero && fmt.classify(c) == FpClass::Zero {
+            if sp == sc {
+                sp
+            } else {
+                rm == RoundingMode::TowardNegative
+            }
+        } else if prod_zero {
+            sc // exact c (c must be zero for exact==0 here — handled above)
+        } else {
+            // True cancellation.
+            rm == RoundingMode::TowardNegative
+        }
+    } else {
+        false
+    };
+    let (bits, overflow, inexact) = naive_round(fmt, &scaled, exact, rm, zero_sign_neg);
+    // Underflow: tiny before rounding and inexact.
+    let tiny = exact != 0
+        && (exact.unsigned_abs() as i128) < (1i128 << (fmt.emin() - 2 * e0) as u32);
+    (bits, inexact || overflow, overflow, tiny && inexact)
+}
+
+#[test]
+fn exhaustive_tiny_format_all_modes() {
+    // 6-bit format: 3 exponent bits, 2 fraction bits.
+    let fmt = FpFormat::new(3, 2);
+    let e0 = fmt.emin() - fmt.frac_bits() as i32; // minimal LSB exponent
+    let candidates = candidate_magnitudes(fmt, e0);
+    let all: Vec<u128> = (0..1u128 << fmt.width()).collect();
+    let finite = |x: u128| {
+        matches!(
+            fmt.classify(x),
+            FpClass::Zero | FpClass::Normal | FpClass::Denormal
+        )
+    };
+    let mut checked = 0u64;
+    for &a in &all {
+        for &b in &all {
+            for &c in &all {
+                if !(finite(a) && finite(b) && finite(c)) {
+                    continue;
+                }
+                for rm in RoundingMode::ALL {
+                    let got = fma(fmt, a, b, c, rm);
+                    let (bits, inexact, overflow, underflow) =
+                        naive_fma(fmt, &candidates, e0, a, b, c, rm);
+                    assert_eq!(
+                        got.bits, bits,
+                        "fma({a:#x},{b:#x},{c:#x}) rm={rm:?}: got {:#x} want {bits:#x} \
+                         ({} * {} + {})",
+                        got.bits,
+                        fmt.to_f64(a),
+                        fmt.to_f64(b),
+                        fmt.to_f64(c)
+                    );
+                    assert_eq!(got.flags.inexact, inexact, "inexact for {a:#x},{b:#x},{c:#x} {rm:?}");
+                    assert_eq!(got.flags.overflow, overflow, "overflow for {a:#x},{b:#x},{c:#x} {rm:?}");
+                    assert_eq!(
+                        got.flags.underflow, underflow,
+                        "underflow for {a:#x},{b:#x},{c:#x} {rm:?} (exact result {})",
+                        fmt.to_f64(got.bits)
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    // 56 finite patterns ^ 3 operands * 4 rounding modes.
+    assert_eq!(checked, 56 * 56 * 56 * 4, "unexpected combination count");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn double_fma_matches_host(a: u64, b: u64, c: u64) {
+        let fmt = FpFormat::DOUBLE;
+        let r = fma(fmt, a as u128, b as u128, c as u128, RoundingMode::NearestEven);
+        let host = f64::from_bits(a).mul_add(f64::from_bits(b), f64::from_bits(c));
+        if host.is_nan() {
+            prop_assert!(fmt.is_nan(r.bits));
+        } else {
+            prop_assert_eq!(r.bits as u64, host.to_bits(),
+                "fma({}, {}, {})", f64::from_bits(a), f64::from_bits(b), f64::from_bits(c));
+        }
+    }
+
+    #[test]
+    fn double_add_mul_match_host(a: u64, b: u64) {
+        let fmt = FpFormat::DOUBLE;
+        let fa = f64::from_bits(a);
+        let fb = f64::from_bits(b);
+        let add = add_with(fmt, a as u128, b as u128, RoundingMode::NearestEven, false);
+        if (fa + fb).is_nan() {
+            prop_assert!(fmt.is_nan(add.bits));
+        } else {
+            prop_assert_eq!(add.bits as u64, (fa + fb).to_bits(), "{} + {}", fa, fb);
+        }
+        let mul = mul_with(fmt, a as u128, b as u128, RoundingMode::NearestEven, false);
+        if (fa * fb).is_nan() {
+            prop_assert!(fmt.is_nan(mul.bits));
+        } else {
+            prop_assert_eq!(mul.bits as u64, (fa * fb).to_bits(), "{} * {}", fa, fb);
+        }
+    }
+
+    #[test]
+    fn double_fma_denormal_heavy(af in 0u64..(1 << 53), cf in 0u64..(1 << 53), sa: bool, sc: bool) {
+        // Operands biased toward the denormal range where most FPU bugs live.
+        let fmt = FpFormat::DOUBLE;
+        let a = (af | (u64::from(sa) << 63)) as u128;
+        let c = (cf | (u64::from(sc) << 63)) as u128;
+        let b = (1.5f64).to_bits() as u128;
+        let r = fma(fmt, a, b, c, RoundingMode::NearestEven);
+        let host = f64::from_bits(a as u64).mul_add(1.5, f64::from_bits(c as u64));
+        prop_assert_eq!(r.bits as u64, host.to_bits());
+    }
+
+    #[test]
+    fn daz_consistency(a: u64, b: u64, c: u64) {
+        // DAZ result equals full-IEEE result on manually-flushed operands.
+        let fmt = FpFormat::DOUBLE;
+        let flush = |x: u128| {
+            if fmt.classify(x) == FpClass::Denormal { fmt.zero(fmt.sign_of(x)) } else { x }
+        };
+        for rm in RoundingMode::ALL {
+            let daz = fma_with(fmt, a as u128, b as u128, c as u128, rm, true);
+            let manual = fma_with(fmt, flush(a as u128), flush(b as u128), flush(c as u128), rm, false);
+            prop_assert_eq!(daz, manual);
+        }
+    }
+}

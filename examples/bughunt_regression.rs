@@ -1,0 +1,175 @@
+//! Fault-injection regression: plant a gate-level bug in the implementation
+//! FPU, let the formal flow hunt it down, and print the counterexample with
+//! softfloat-oracle arbitration.
+//!
+//! Run with: `cargo run --release -p fmaverify --example bughunt_regression`
+
+use fmaverify::{
+    build_harness, check_miter_bdd_parts, enumerate_cases, inject_fault, BddEngineOptions, CaseId,
+    HarnessOptions, MutationKind, SatEngineOptions,
+};
+use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
+use fmaverify_netlist::{BitSim, Word};
+use fmaverify_softfloat::{FpFormat, RoundingMode};
+
+fn main() {
+    let cfg = FpuConfig {
+        format: FpFormat::MICRO,
+        denormals: DenormalMode::FlushToZero,
+    };
+    let op = FpuOp::Fma;
+    println!("== bug hunt at {:?} ==\n", cfg.format);
+
+    // Build the harness and materialize all case constraints as probes.
+    let mut base = build_harness(
+        &cfg,
+        HarnessOptions {
+            isolate_multiplier: false,
+            ..HarnessOptions::default()
+        },
+    );
+    let cases = enumerate_cases(&cfg, op);
+    for case in &cases {
+        let parts = base.case_constraint_parts(op, *case);
+        for (i, p) in parts.iter().enumerate() {
+            base.netlist.probe(format!("case.{}#{i}", case.label()), *p);
+        }
+    }
+
+    // Plant a fault: flip a gate in the implementation rounder cone.
+    let impl_cone = base.netlist.comb_cone(
+        &base
+            .impl_fpu
+            .outputs
+            .result
+            .bits()
+            .to_vec(),
+    );
+    let ref_cone = base.netlist.comb_cone(
+        &base
+            .ref_fpu
+            .outputs
+            .result
+            .bits()
+            .to_vec(),
+    );
+    let candidates: Vec<_> = base
+        .netlist
+        .node_ids()
+        .filter(|id| {
+            impl_cone[id.index()]
+                && !ref_cone[id.index()]
+                && matches!(base.netlist.node(*id), fmaverify_netlist::Node::And(..))
+        })
+        .collect();
+    // Walk candidate gates until an FMA-observable fault is found.
+    let mut chosen = None;
+    'search: for k in (0..candidates.len()).step_by(37) {
+        let target = candidates[k];
+        let mutated = inject_fault(&base.netlist, target, MutationKind::InvertOutput);
+        let miter = mutated.find_output("miter").expect("miter");
+        // Quick observability probe under FMA.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut sim = BitSim::new(&mutated);
+        let w = cfg.format.width() as usize;
+        let input_word = |n: &fmaverify_netlist::Netlist, p: &str, w: usize| {
+            Word::from_bits((0..w).map(|i| n.find_input(&format!("{p}[{i}]")).expect("in")).collect())
+        };
+        let (wa, wb, wc) = (
+            input_word(&mutated, "a", w),
+            input_word(&mutated, "b", w),
+            input_word(&mutated, "c", w),
+        );
+        let wop = input_word(&mutated, "op", 3);
+        let wrm = input_word(&mutated, "rm", 2);
+        for _ in 0..4000 {
+            sim.set_word(&wa, rng.gen::<u128>() & cfg.format.mask());
+            sim.set_word(&wb, rng.gen::<u128>() & cfg.format.mask());
+            sim.set_word(&wc, rng.gen::<u128>() & cfg.format.mask());
+            sim.set_word(&wop, 0); // FMA
+            sim.set_word(&wrm, rng.gen_range(0..4));
+            sim.eval();
+            if sim.get(miter) {
+                chosen = Some((target, mutated, miter));
+                break 'search;
+            }
+        }
+    }
+    let (target, mutated, miter) = chosen.expect("an observable fault exists");
+    println!("injecting {:?} at node {target:?}", MutationKind::InvertOutput);
+
+    // Hunt through the cases.
+    for case in &cases {
+        let parts: Vec<_> = (0..4)
+            .map_while(|i| mutated.find_probe(&format!("case.{}#{i}", case.label())))
+            .collect();
+        let cex = match case {
+            CaseId::FarOut | CaseId::Monolithic => {
+                let out = fmaverify::check_miter_sat_parts(
+                    &mutated,
+                    miter,
+                    &parts,
+                    &SatEngineOptions::default(),
+                );
+                (!out.holds).then_some(out.counterexample).flatten()
+            }
+            _ => {
+                let out =
+                    check_miter_bdd_parts(&mutated, miter, &parts, &BddEngineOptions::default());
+                (!out.holds).then_some(out.counterexample).flatten()
+            }
+        };
+        let Some(assignment) = cex else {
+            continue;
+        };
+        // Decode and arbitrate.
+        let word = |prefix: &str, w: usize| -> u128 {
+            (0..w)
+                .map(|i| {
+                    u128::from(*assignment.get(&format!("{prefix}[{i}]")).unwrap_or(&false)) << i
+                })
+                .sum()
+        };
+        let w = cfg.format.width() as usize;
+        let (a, b, c) = (word("a", w), word("b", w), word("c", w));
+        let rm = RoundingMode::decode(word("rm", 2) as u32);
+        println!("\ncase [{}] FAILS", case.label());
+        println!(
+            "  counterexample: a={} b={} c={} rm={rm:?}",
+            cfg.format.to_f64(a),
+            cfg.format.to_f64(b),
+            cfg.format.to_f64(c),
+        );
+        let mut sim = BitSim::new(&mutated);
+        for (name, v) in &assignment {
+            if let Some(sig) = mutated.find_input(name) {
+                sim.set(sig, *v);
+            }
+        }
+        sim.eval();
+        let out_word = |prefix: &str| -> u128 {
+            let bits: Vec<_> = (0..w)
+                .map(|i| mutated.find_output(&format!("{prefix}[{i}]")).expect("out"))
+                .collect();
+            let word = Word::from_bits(bits);
+            sim.get_word(&word)
+        };
+        let ref_r = out_word("ref.result");
+        let impl_r = out_word("impl.result");
+        let oracle = FpuOp::Fma.apply(&cfg, a, b, c, rm);
+        println!(
+            "  reference: {}   implementation: {}   oracle: {}",
+            cfg.format.to_f64(ref_r),
+            cfg.format.to_f64(impl_r),
+            cfg.format.to_f64(oracle.bits),
+        );
+        println!(
+            "  verdict: the {} FPU is wrong",
+            if impl_r != oracle.bits { "implementation" } else { "reference" }
+        );
+        return;
+    }
+    println!("fault was not observable under {op:?} (try another opcode)");
+    std::process::exit(1);
+}

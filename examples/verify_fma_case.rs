@@ -1,0 +1,57 @@
+//! Full case-split verification of one instruction, printing the Table-1
+//! style statistics row by row.
+//!
+//! Run with: `cargo run --release -p fmaverify --example verify_fma_case`
+//!
+//! Environment knobs:
+//! * `FMAVERIFY_EXP` / `FMAVERIFY_FRAC` — format (default 4/4);
+//! * `FMAVERIFY_OP` — `fma` (default), `fms`, `add`, or `mul`;
+//! * `FMAVERIFY_FULL_IEEE=1` — honor denormal operands (§6 mode).
+
+use fmaverify::{render_table1, summarize, table1_rows, verify_instruction, RunOptions};
+use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
+use fmaverify_softfloat::FpFormat;
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let exp = env_u32("FMAVERIFY_EXP", 4);
+    let frac = env_u32("FMAVERIFY_FRAC", 4);
+    let op = match std::env::var("FMAVERIFY_OP").as_deref() {
+        Ok("add") => FpuOp::Add,
+        Ok("mul") => FpuOp::Mul,
+        Ok("fms") => FpuOp::Fms,
+        _ => FpuOp::Fma,
+    };
+    let denormals = if std::env::var("FMAVERIFY_FULL_IEEE").is_ok() {
+        DenormalMode::FullIeee
+    } else {
+        DenormalMode::FlushToZero
+    };
+    let cfg = FpuConfig {
+        format: FpFormat::new(exp, frac),
+        denormals,
+    };
+    println!(
+        "verifying {op:?} at ({exp},{frac}), {denormals:?}, multiplier isolated\n"
+    );
+    let report = verify_instruction(&cfg, op, &RunOptions::default());
+    println!("{}", summarize(&report));
+    println!();
+    println!("{}", render_table1(&table1_rows(std::slice::from_ref(&report))));
+    if let Some(fail) = report.first_failure() {
+        println!("FIRST FAILURE: {:?}", fail.case);
+        if let Some(cex) = &fail.counterexample {
+            println!(
+                "  a={:#x} b={:#x} c={:#x} op={} rm={}",
+                cex.a, cex.b, cex.c, cex.op, cex.rm
+            );
+        }
+        std::process::exit(1);
+    }
+}
