@@ -97,6 +97,7 @@ impl Bdd {
     /// Returns the complement (logical negation) of this function. This is a
     /// constant-time operation thanks to complement edges.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Bdd {
         Bdd(self.0 ^ 1)
     }
@@ -354,7 +355,6 @@ impl BddManager {
             return g;
         }
         let (f, g, h) = {
-            let f = f;
             let mut g = g;
             let mut h = h;
             if g == f {
@@ -782,12 +782,7 @@ impl BddManager {
         let mut new_nodes: Vec<Node> = vec![self.nodes[0]];
 
         // Depth-first copy preserving child-before-parent order.
-        fn copy(
-            id: u32,
-            nodes: &[Node],
-            remap: &mut [u32],
-            new_nodes: &mut Vec<Node>,
-        ) -> u32 {
+        fn copy(id: u32, nodes: &[Node], remap: &mut [u32], new_nodes: &mut Vec<Node>) -> u32 {
             if remap[id as usize] != u32::MAX {
                 return remap[id as usize];
             }
@@ -835,7 +830,11 @@ impl BddManager {
         let mut seen = vec![false; self.nodes.len()];
         let mut stack: Vec<u32> = Vec::new();
         for (name, r) in roots {
-            let style = if r.is_complement() { " style=dotted" } else { "" };
+            let style = if r.is_complement() {
+                " style=dotted"
+            } else {
+                ""
+            };
             let _ = writeln!(out, "  \"{name}\" [shape=plaintext];");
             let _ = writeln!(out, "  \"{name}\" -> n{}[{}];", r.id(), style);
             stack.push(r.id());
@@ -851,9 +850,17 @@ impl BddManager {
                 continue;
             }
             let _ = writeln!(out, "  n{id} [label=\"x{}\"];", n.var);
-            let hstyle = if n.high.is_complement() { ", style=dotted" } else { "" };
+            let hstyle = if n.high.is_complement() {
+                ", style=dotted"
+            } else {
+                ""
+            };
             let _ = writeln!(out, "  n{id} -> n{} [label=\"1\"{}];", n.high.id(), hstyle);
-            let lstyle = if n.low.is_complement() { " style=dotted" } else { "" };
+            let lstyle = if n.low.is_complement() {
+                " style=dotted"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "  n{id} -> n{} [label=\"0\" style=dashed{}];",
@@ -880,7 +887,11 @@ impl BddManager {
     /// # Panics
     /// Panics if `order` is not a permutation of the manager's variables.
     pub fn set_order(&mut self, order: &[BddVar], roots: &[Bdd]) -> Vec<Bdd> {
-        assert_eq!(order.len(), self.num_vars(), "order must cover all variables");
+        assert_eq!(
+            order.len(),
+            self.num_vars(),
+            "order must cover all variables"
+        );
         let mut seen = vec![false; self.num_vars()];
         for v in order {
             assert!(
@@ -917,9 +928,17 @@ impl BddManager {
             Bdd::TRUE
         } else {
             let h_body = self.rebuild_rec(n.high.id(), old_nodes, memo);
-            let h = if n.high.is_complement() { !h_body } else { h_body };
+            let h = if n.high.is_complement() {
+                !h_body
+            } else {
+                h_body
+            };
             let l_body = self.rebuild_rec(n.low.id(), old_nodes, memo);
-            let l = if n.low.is_complement() { !l_body } else { l_body };
+            let l = if n.low.is_complement() {
+                !l_body
+            } else {
+                l_body
+            };
             let v = self.var_bdd(BddVar(n.var));
             self.ite(v, h, l)
         };

@@ -9,11 +9,9 @@
 //! redundancy removal, showing that the multiplier collapses; and we verify
 //! the add instruction end to end without isolation.
 
-use fmaverify::{
-    summarize, verify_instruction, HarnessOptions, RunOptions,
-};
-use fmaverify_bench::{banner, bench_config, compare, dur};
-use fmaverify_fpu::{FpuOp, FpuInputs, MultiplierMode, PipelineMode};
+use fmaverify::{summarize, verify_instruction, HarnessOptions, RunOptions, ToJson};
+use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json};
+use fmaverify_fpu::{FpuInputs, FpuOp, MultiplierMode, PipelineMode};
 use fmaverify_netlist::{sat_sweep, Netlist, SweepOptions};
 
 fn main() {
@@ -37,10 +35,7 @@ fn main() {
         );
         let mut st: Vec<_> = fpu.s.bits().to_vec();
         st.extend_from_slice(fpu.t.bits());
-        (
-            n.cone_size(&fpu.outputs.result.bits().to_vec()),
-            n.cone_size(&st),
-        )
+        (n.cone_size(fpu.outputs.result.bits()), n.cone_size(&st))
     };
     let (add_swept_size, add_mult_size) = {
         let mut n = Netlist::new();
@@ -111,6 +106,7 @@ fn main() {
     );
     println!("{}", summarize(&report));
     assert!(report.all_hold());
+    maybe_write_json("add_constprop", || report.to_json());
     println!();
     compare(
         "constant 1.0 collapses the multiplier",

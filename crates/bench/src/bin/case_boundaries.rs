@@ -56,8 +56,6 @@ fn main() {
         // Choose exponents so that e_a + e_b - e_c = -(f+3) (unbiased).
         let ea = bias as u32; // e_a = 0
         let ec = (bias + f + 3).min((1 << fmt.exp_bits()) as i64 - 2) as u32;
-        let eb = (bias + (ec as i64 - bias) - (f + 3) - 0) as u32; // e_b = e_c - bias... solved below
-        let _ = eb;
         // Solve e_b from the constraint: (ea-b)+(eb-b)-(ec-b) = -(f+3)
         let eb = (-(f + 3) + ec as i64 + bias - ea as i64) as u32;
         if i64::from(eb) >= 1 && i64::from(eb) < (1 << fmt.exp_bits()) - 1 {
@@ -80,7 +78,10 @@ fn main() {
             compare(
                 "δ=-(f+3) is not sticky-only (boundary correction)",
                 "paper claims δ<=-55 is far-out",
-                &format!("result differs from addend: {}", exact_sticky_only.bits != c_mag),
+                &format!(
+                    "result differs from addend: {}",
+                    exact_sticky_only.bits != c_mag
+                ),
                 exact_sticky_only.bits != c_mag,
             );
         }
@@ -159,7 +160,11 @@ fn check_classifier(netlist: &Netlist, h: &fmaverify::Harness, cfg: &FpuConfig) 
     let delta_word = {
         let wexp = cfg.exp_arith_bits();
         let bits: Vec<Signal> = (0..wexp)
-            .map(|i| netlist.find_probe(&format!("ref.delta[{i}]")).expect("delta probe"))
+            .map(|i| {
+                netlist
+                    .find_probe(&format!("ref.delta[{i}]"))
+                    .expect("delta probe")
+            })
             .collect();
         Word::from_bits(bits)
     };

@@ -11,10 +11,10 @@
 //! quadratic case growth including the ~17k count at double precision,
 //! and (c) run the full extended sweep at the benchmark format.
 
-use fmaverify::{enumerate_cases, summarize, verify_instruction, RunOptions};
-use fmaverify_bench::{banner, compare, dur, env_u32};
+use fmaverify::{enumerate_cases, summarize, verify_instruction, RunOptions, ToJson};
+use fmaverify_bench::{banner, compare, dur, env_u32, maybe_write_json};
 use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
-use fmaverify_softfloat::{fma_with, FpFormat, FpClass, RoundingMode};
+use fmaverify_softfloat::{fma_with, FpClass, FpFormat, RoundingMode};
 
 fn main() {
     banner(
@@ -33,7 +33,7 @@ fn main() {
     let fmt = FpFormat::DOUBLE;
     let a = fmt.min_denormal(false); // 2^-1074: 52 leading zeros in the significand
     let b = fmt.pack(false, (fmt.bias() + 60) as u32, 0); // normal, 2^60
-    // Product = 2^-1074 * 2^60 = 2^-1014 (normal range); pick c = -2^-1014.
+                                                          // Product = 2^-1074 * 2^60 = 2^-1014 (normal range); pick c = -2^-1014.
     let c = fmt.pack(true, (fmt.bias() - 1014) as u32, 0);
     let r = fma_with(fmt, a, b, c, RoundingMode::NearestEven, false);
     let delta_demo = {
@@ -43,9 +43,7 @@ fn main() {
         let ec = -1014i64;
         ea + eb - ec
     };
-    println!(
-        "Figure 4 witness at double precision: denormal*normal - normal with δ={delta_demo}:"
-    );
+    println!("Figure 4 witness at double precision: denormal*normal - normal with δ={delta_demo}:");
     println!(
         "  {:e} * {:e} + {:e} = {:e} (exact cancellation at a δ far outside ±2)",
         fmt.to_f64(a),
@@ -62,7 +60,10 @@ fn main() {
 
     // (b) Quadratic case growth.
     println!("\ncase-count growth (FMA):");
-    println!("  {:>6} {:>12} {:>14}", "frac", "FTZ cases", "full-IEEE cases");
+    println!(
+        "  {:>6} {:>12} {:>14}",
+        "frac", "FTZ cases", "full-IEEE cases"
+    );
     for f in [2u32, 3, 4, 6, 8, 52] {
         let base = FpuConfig {
             format: FpFormat::new(6.min(f + 2), f),
@@ -104,11 +105,14 @@ fn main() {
         cfg.format.exp_bits(),
         cfg.format.frac_bits()
     );
+    let mut reports = Vec::new();
     for op in [FpuOp::Fma, FpuOp::Add, FpuOp::Mul] {
         let report = verify_instruction(&cfg, op, &RunOptions::default());
         println!("  {}", summarize(&report));
         assert!(report.all_hold(), "{:?}", report.first_failure());
+        reports.push(report);
     }
+    maybe_write_json("denormal_extension", || reports.to_json());
     println!();
     compare(
         "extended sweep still tractable per case",

@@ -27,7 +27,8 @@ fn main() {
     let parts = h.case_constraint_parts(FpuOp::Fma, CaseId::FarOut);
     let full_cone = h.netlist.cone_size(&[h.miter]);
 
-    let sat_plain = check_miter_sat_parts(&h.netlist, h.miter, &parts, &SatEngineOptions::default());
+    let sat_plain =
+        check_miter_sat_parts(&h.netlist, h.miter, &parts, &SatEngineOptions::default());
     assert!(sat_plain.holds);
     let sat_swept = check_miter_sat_parts(
         &h.netlist,

@@ -128,7 +128,10 @@ fn main() {
     compare(
         "soundness needs only a fraction of the FPU",
         "simple proof obligation for SAT",
-        &format!("{} of {} gates", soundness.cone_ands, soundness.full_fpu_ands),
+        &format!(
+            "{} of {} gates",
+            soundness.cone_ands, soundness.full_fpu_ands
+        ),
         soundness.cone_ands * 2 < soundness.full_fpu_ands,
     );
 }

@@ -70,7 +70,6 @@ fn main() {
                     order: paper_order(&h, delta),
                     node_limit: Some(node_limit),
                     gc_threshold: node_limit / 8,
-                    ..BddEngineOptions::default()
                 },
             );
             assert!(out.holds || out.aborted, "{case:?} under {minimize:?}");

@@ -9,12 +9,15 @@
 //! similarities between the denormalization shifters in the real and the
 //! reference FPU."
 
-use fmaverify::{summarize, verify_instruction, RunOptions};
-use fmaverify_bench::{banner, bench_config, compare, dur};
+use fmaverify::{summarize, verify_instruction, EngineKind, JsonValue, RunOptions, ToJson};
+use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json};
 use fmaverify_fpu::FpuOp;
 
 fn main() {
-    banner("mult_sat", "§5: multiply verified by one SAT run, no case split");
+    banner(
+        "mult_sat",
+        "§5: multiply verified by one SAT run, no case split",
+    );
     let cfg = bench_config();
 
     // Without sweeping.
@@ -45,12 +48,19 @@ fn main() {
         "discharged by SAT",
         "satisfiability checking",
         &format!("engine {:?}", plain.results[0].engine),
-        plain.results[0].engine == fmaverify::Engine::Sat,
+        plain.results[0].engine == EngineKind::Sat,
     );
     compare(
         "denormalization handled in-solver",
         "5 minutes total",
-        &format!("{} / {} (plain/swept)", dur(plain.accumulated), dur(swept.accumulated)),
+        &format!(
+            "{} / {} (plain/swept)",
+            dur(plain.accumulated),
+            dur(swept.accumulated)
+        ),
         true,
     );
+    maybe_write_json("mult_sat", || {
+        JsonValue::object(vec![("plain", plain.to_json()), ("swept", swept.to_json())])
+    });
 }

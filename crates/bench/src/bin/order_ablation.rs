@@ -48,7 +48,11 @@ fn main() {
         "paper static order:  peak {:>10} nodes, {:>9}{}",
         static_run.peak_nodes,
         dur(static_run.duration),
-        if static_run.aborted { "  [ABORTED: node limit]" } else { "" }
+        if static_run.aborted {
+            "  [ABORTED: node limit]"
+        } else {
+            ""
+        }
     );
     assert!(static_run.holds && !static_run.aborted);
 
@@ -89,7 +93,11 @@ fn main() {
     compare(
         "static order beats naive order (time)",
         "considerably more time",
-        &format!("{} vs {}", dur(static_run.duration), dur(naive_run.duration)),
+        &format!(
+            "{} vs {}",
+            dur(static_run.duration),
+            dur(naive_run.duration)
+        ),
         naive_run.aborted || static_run.duration <= naive_run.duration,
     );
 

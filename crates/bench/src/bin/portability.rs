@@ -13,7 +13,7 @@ use fmaverify::{
     derive_st_constants_for, prove_multiplier_soundness_for, verify_instruction, RunOptions,
 };
 use fmaverify_bench::{banner, bench_config, compare, dur};
-use fmaverify_fpu::{FpuOp, FpuInputs, MultiplierMode, PipelineMode};
+use fmaverify_fpu::{FpuInputs, FpuOp, MultiplierMode, PipelineMode};
 use fmaverify_netlist::{BitSim, Netlist};
 use std::time::Instant;
 
@@ -38,9 +38,21 @@ fn main() {
 
     let mut port_times = Vec::new();
     for (name, mode, pipeline) in [
-        ("booth/combinational", MultiplierMode::Real, PipelineMode::Combinational),
-        ("array/combinational", MultiplierMode::RealArray, PipelineMode::Combinational),
-        ("booth/3-stage pipeline", MultiplierMode::Real, PipelineMode::ThreeStage),
+        (
+            "booth/combinational",
+            MultiplierMode::Real,
+            PipelineMode::Combinational,
+        ),
+        (
+            "array/combinational",
+            MultiplierMode::RealArray,
+            PipelineMode::Combinational,
+        ),
+        (
+            "booth/3-stage pipeline",
+            MultiplierMode::Real,
+            PipelineMode::ThreeStage,
+        ),
     ] {
         let t = Instant::now();
         let constants = derive_st_constants_for(&cfg, 600, mode.clone());
@@ -63,8 +75,12 @@ fn main() {
     {
         let mut n = Netlist::new();
         let inputs = FpuInputs::new(&mut n, cfg.format);
-        let ref_fpu =
-            fmaverify_fpu::build_ref_fpu(&mut n, &cfg, &inputs, fmaverify_fpu::ProductSource::Exact);
+        let ref_fpu = fmaverify_fpu::build_ref_fpu(
+            &mut n,
+            &cfg,
+            &inputs,
+            fmaverify_fpu::ProductSource::Exact,
+        );
         let impl_fpu = fmaverify_fpu::build_impl_fpu(
             &mut n,
             &cfg,
@@ -107,7 +123,11 @@ fn main() {
         ),
         booth_rules != array_rules,
     );
-    let max_port = port_times.iter().map(|(_, t, _, _)| *t).max().expect("ports");
+    let max_port = port_times
+        .iter()
+        .map(|(_, t, _, _)| *t)
+        .max()
+        .expect("ports");
     compare(
         "porting effort is a fraction of the original verification",
         "less than one day vs the initial effort",

@@ -10,9 +10,7 @@
 //! FPUs against the softfloat oracle.
 
 use fmaverify_bench::{banner, bench_config, compare};
-use fmaverify_fpu::{
-    build_ref_fpu, FpuInputs, FpuOp, ProductSource,
-};
+use fmaverify_fpu::{build_ref_fpu, FpuInputs, FpuOp, ProductSource};
 use fmaverify_netlist::{BitSim, Netlist, Signal, Word};
 use fmaverify_softfloat::{mul_with, FpClass, RoundingMode};
 
@@ -28,9 +26,9 @@ fn main() {
 
     // Cone sizes: the sha signal (the LZC + bound logic of Figure 3), and
     // the full result (plus shifter and rounder).
-    let sha_cone = n.cone_size(&fpu.sha.bits().to_vec());
-    let result_cone = n.cone_size(&fpu.outputs.result.bits().to_vec());
-    let delta_cone = n.cone_size(&fpu.delta.bits().to_vec());
+    let sha_cone = n.cone_size(fpu.sha.bits());
+    let result_cone = n.cone_size(fpu.outputs.result.bits());
+    let delta_cone = n.cone_size(fpu.delta.bits());
     println!("cone sizes (AND gates):");
     println!("  δ computation (exponent logic):     {delta_cone}");
     println!("  sha (161-bit add + LZC + bound):     {sha_cone}");
@@ -108,7 +106,11 @@ fn main() {
         let ec = ((ea + eb) as i64 - fmt.bias() as i64).clamp(1, emax as i64) as u32;
         let a = fmt.pack(rng.gen(), ea, rng.gen::<u128>() & fmt.frac_mask());
         let b = fmt.pack(rng.gen(), eb, rng.gen::<u128>() & fmt.frac_mask());
-        let c = fmt.pack(!fmt.sign_of(a) ^ fmt.sign_of(b), ec, rng.gen::<u128>() & fmt.frac_mask());
+        let c = fmt.pack(
+            !fmt.sign_of(a) ^ fmt.sign_of(b),
+            ec,
+            rng.gen::<u128>() & fmt.frac_mask(),
+        );
         sim2.set_word(&inputs2.a, a);
         sim2.set_word(&inputs2.b, b);
         sim2.set_word(&inputs2.c, c);

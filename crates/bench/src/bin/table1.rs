@@ -21,24 +21,39 @@
 //! peaks, far-out/mult are SAT-only (n/a nodes), and the far-out SAT run is
 //! the slowest single job.
 
-use fmaverify::{render_table1, summarize, table1_rows, verify_instruction, RunOptions};
-use fmaverify_bench::{banner, bench_config, compare, dur};
+use fmaverify::{
+    render_table1, summarize, table1_rows, verify_instruction, JsonValue, RunOptions, ToJson,
+};
+use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json};
 use fmaverify_fpu::FpuOp;
 
 fn main() {
-    banner("table1", "Table 1: BDD nodes and runtimes for the double-precision cases");
+    banner(
+        "table1",
+        "Table 1: BDD nodes and runtimes for the double-precision cases",
+    );
     let cfg = bench_config();
     let mut reports = Vec::new();
     for op in [FpuOp::Add, FpuOp::Mul, FpuOp::Fma] {
         let report = verify_instruction(&cfg, op, &RunOptions::default());
         println!("{}", summarize(&report));
-        assert!(report.all_hold(), "verification failed: {:?}", report.first_failure());
+        assert!(
+            report.all_hold(),
+            "verification failed: {:?}",
+            report.first_failure()
+        );
         reports.push(report);
     }
     println!("\n{}", render_table1(&table1_rows(&reports)));
 
     // Shape checks against the paper.
     let rows = table1_rows(&reports);
+    maybe_write_json("table1", || {
+        JsonValue::object(vec![
+            ("rows", rows.to_json()),
+            ("reports", reports.to_json()),
+        ])
+    });
     let find = |op: FpuOp, class: fmaverify::CaseClass| {
         rows.iter().find(|r| r.op == op && r.class == class)
     };
@@ -99,7 +114,12 @@ fn main() {
     compare(
         "accumulated: mult << add << FMA",
         "5 min / 16 h / 73 h",
-        &format!("{} / {} / {}", dur(mul_total), dur(add_total), dur(fma_total)),
+        &format!(
+            "{} / {} / {}",
+            dur(mul_total),
+            dur(add_total),
+            dur(fma_total)
+        ),
         mul_total <= add_total && add_total <= fma_total,
     );
 }

@@ -67,6 +67,30 @@ pub fn dur(d: std::time::Duration) -> String {
     }
 }
 
+/// True when the binary was asked for machine-readable output, via the
+/// `--json` flag or `FMAVERIFY_JSON=1`.
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json") || std::env::var_os("FMAVERIFY_JSON").is_some()
+}
+
+/// Writes per-case results under `results/<experiment>.json` when
+/// [`json_requested`] — the value is only rendered if the flag is set.
+/// Returns the path written.
+pub fn maybe_write_json(
+    experiment: &str,
+    value: impl FnOnce() -> fmaverify::JsonValue,
+) -> Option<std::path::PathBuf> {
+    if !json_requested() {
+        return None;
+    }
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/ directory");
+    let path = dir.join(format!("{experiment}.json"));
+    std::fs::write(&path, value().render_pretty()).expect("write JSON results");
+    println!("json:       wrote {}", path.display());
+    Some(path)
+}
+
 /// A paper-vs-measured comparison line for EXPERIMENTS.md.
 pub fn compare(label: &str, paper: &str, measured: &str, shape_holds: bool) {
     println!(

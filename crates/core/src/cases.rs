@@ -152,7 +152,10 @@ mod tests {
         // Paper: 1 far-out + 156 non-cancellation + 4*107 cancellation = 585.
         // We carry one extra overlap δ (the −55 boundary correction), hence
         // 157 non-cancellation cases and 586 total.
-        let farout = cases.iter().filter(|c| c.class() == CaseClass::FarOut).count();
+        let farout = cases
+            .iter()
+            .filter(|c| c.class() == CaseClass::FarOut)
+            .count();
         let nc = cases
             .iter()
             .filter(|c| c.class() == CaseClass::OverlapNoCancellation)
@@ -173,10 +176,9 @@ mod tests {
         let fma = enumerate_cases(&cfg, FpuOp::Fma);
         let add = enumerate_cases(&cfg, FpuOp::Add);
         assert_eq!(fma.len() - add.len(), 107 - 1); // one δ goes from 107 to 1
-        assert!(add.iter().any(|c| matches!(
-            c,
-            CaseId::OverlapNoCancel { delta: -2 }
-        )));
+        assert!(add
+            .iter()
+            .any(|c| matches!(c, CaseId::OverlapNoCancel { delta: -2 })));
     }
 
     #[test]

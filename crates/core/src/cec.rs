@@ -8,10 +8,10 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use fmaverify_netlist::{
-    sat_sweep, Netlist, Node, SatEncoder, Signal, SweepOptions,
-};
+use fmaverify_netlist::{sat_sweep, Netlist, Node, SatEncoder, Signal, SweepOptions};
 use fmaverify_sat::{SolveResult, Solver};
+
+use crate::engine::EngineStats;
 
 /// Result of an equivalence check.
 #[derive(Clone, Debug)]
@@ -24,6 +24,9 @@ pub struct CecResult {
     pub counterexample: Option<HashMap<String, bool>>,
     /// Gates merged by the sweep phase.
     pub swept_merges: usize,
+    /// Unified resource statistics (SAT conflicts, post-sweep cone size,
+    /// wall time) in the same shape the case engines report.
+    pub stats: EngineStats,
     /// Wall-clock duration.
     pub duration: Duration,
 }
@@ -50,7 +53,10 @@ pub fn import_netlist(dst: &mut Netlist, src: &Netlist) -> Vec<Signal> {
         remap[id.index()] = new_sig;
     }
     for &l in src.latches() {
-        if let Node::Latch { next, connected, .. } = src.node(l) {
+        if let Node::Latch {
+            next, connected, ..
+        } = src.node(l)
+        {
             if *connected {
                 let nn = edge(&remap, *next);
                 dst.set_latch_next(remap[l.index()], nn);
@@ -95,6 +101,13 @@ pub fn check_equivalence(left: &Netlist, right: &Netlist) -> CecResult {
 
     let mut solver = Solver::new();
     let mut enc = SatEncoder::new();
+    let cone_ands = merged.cone_size(&sweep.roots);
+    let stats = |solver: &Solver, wall: Duration| EngineStats {
+        sat_conflicts: Some(solver.stats().conflicts),
+        coi_ands: Some(cone_ands),
+        wall,
+        ..EngineStats::default()
+    };
     for ((name, _), &root) in miters.iter().zip(&sweep.roots) {
         let lit = enc.lit(&merged, &mut solver, root);
         match solver.solve_with_assumptions(&[lit]) {
@@ -115,6 +128,7 @@ pub fn check_equivalence(left: &Netlist, right: &Netlist) -> CecResult {
                     failing_output: Some(name.clone()),
                     counterexample: Some(cex),
                     swept_merges: sweep.merged,
+                    stats: stats(&solver, start.elapsed()),
                     duration: start.elapsed(),
                 };
             }
@@ -126,6 +140,7 @@ pub fn check_equivalence(left: &Netlist, right: &Netlist) -> CecResult {
         failing_output: None,
         counterexample: None,
         swept_merges: sweep.merged,
+        stats: stats(&solver, start.elapsed()),
         duration: start.elapsed(),
     }
 }

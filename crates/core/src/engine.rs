@@ -1,0 +1,369 @@
+//! The unified case-engine abstraction.
+//!
+//! The paper discharges each case of the split with whichever automatic
+//! engine fits it — BDD symbolic simulation for the overlap cases, SAT for
+//! the far-out cases and the multiplier — and reports per-case resources.
+//! This module gives every engine one face: [`CaseEngine::check`] takes a
+//! harness, a case, its constraint and a [`EngineBudget`], and returns an
+//! [`EngineOutcome`] whose [`EngineVerdict`] distinguishes *holds*,
+//! *counterexample*, *budget exceeded* and *engine error*, with uniform
+//! [`EngineStats`] (peak BDD nodes, SAT conflicts, cone size, wall time).
+//!
+//! The scheduler in [`crate::runner`] never names a concrete engine: it
+//! walks an escalation ladder of `(engine, budget)` stages (see
+//! [`crate::runner::SchedulePolicy`]) until one stage produces a definite
+//! verdict.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fmaverify_fpu::FpuOp;
+use fmaverify_netlist::Signal;
+
+use crate::cases::CaseId;
+use crate::engine_bdd::{check_miter_bdd_parts, BddEngineOptions, Minimize};
+use crate::engine_bdd_seq::check_miter_bdd_sequential;
+use crate::engine_sat::{check_miter_sat_parts, SatEngineOptions};
+use crate::harness::Harness;
+use crate::order::paper_order;
+
+/// Which kind of engine produced a result.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    /// Combinational BDD symbolic simulation.
+    Bdd,
+    /// Cycle-accurate BDD symbolic simulation of a sequential harness.
+    BddSequential,
+    /// Structural SAT on the (optionally swept) cone.
+    Sat,
+}
+
+/// Resource limits for one engine attempt. `Default` is unlimited.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EngineBudget {
+    /// Abort a BDD run whose arena exceeds this many live nodes.
+    pub node_limit: Option<usize>,
+    /// Abort a SAT run after this many conflicts.
+    pub conflict_limit: Option<u64>,
+}
+
+impl EngineBudget {
+    /// No limits: the engine runs to completion.
+    pub const UNLIMITED: EngineBudget = EngineBudget {
+        node_limit: None,
+        conflict_limit: None,
+    };
+}
+
+/// Uniform per-attempt resource statistics, regardless of engine kind.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Peak allocated BDD nodes (BDD engines only).
+    pub peak_bdd_nodes: Option<usize>,
+    /// Nodes in the care-set BDD (BDD engines only).
+    pub care_nodes: Option<usize>,
+    /// Solver conflicts (SAT engine only).
+    pub sat_conflicts: Option<u64>,
+    /// AND gates in the analyzed cone of influence (SAT engine only;
+    /// post-sweep when sweeping is enabled).
+    pub coi_ands: Option<usize>,
+    /// Wall-clock time of the attempt.
+    pub wall: Duration,
+}
+
+/// What one engine attempt concluded.
+#[derive(Clone, Debug)]
+pub enum EngineVerdict {
+    /// The miter is unsatisfiable on the care set: the case holds.
+    Holds,
+    /// A care-set assignment (by input name) on which the miter fires.
+    Counterexample(HashMap<String, bool>),
+    /// The budget was exhausted before a conclusion; escalate or give up.
+    BudgetExceeded,
+    /// The engine failed (e.g. panicked); the message describes how.
+    Error(String),
+}
+
+impl EngineVerdict {
+    /// True for the two definite verdicts (holds / counterexample).
+    pub fn is_definite(&self) -> bool {
+        matches!(
+            self,
+            EngineVerdict::Holds | EngineVerdict::Counterexample(_)
+        )
+    }
+}
+
+/// The unified result of one engine attempt.
+#[derive(Clone, Debug)]
+pub struct EngineOutcome {
+    /// The conclusion.
+    pub verdict: EngineVerdict,
+    /// Resources spent reaching it.
+    pub stats: EngineStats,
+}
+
+impl EngineOutcome {
+    /// An error outcome with empty stats except wall time.
+    pub fn error(message: impl Into<String>, wall: Duration) -> Self {
+        EngineOutcome {
+            verdict: EngineVerdict::Error(message.into()),
+            stats: EngineStats {
+                wall,
+                ..EngineStats::default()
+            },
+        }
+    }
+}
+
+/// A decision procedure for one case of the split.
+///
+/// Implementations are stateless (all mutable state lives inside one
+/// `check` call), so a single instance can be shared by every scheduler
+/// worker thread.
+pub trait CaseEngine: Send + Sync {
+    /// The engine kind, for reporting.
+    fn kind(&self) -> EngineKind;
+    /// A short human-readable name (e.g. `"bdd/constrain"`).
+    fn name(&self) -> &'static str;
+    /// Decides `case` of `op` on `harness` under `constraint_parts`,
+    /// spending at most `budget`.
+    fn check(
+        &self,
+        harness: &Harness,
+        op: FpuOp,
+        case: CaseId,
+        constraint_parts: &[Signal],
+        budget: &EngineBudget,
+    ) -> EngineOutcome;
+}
+
+/// The δ a case fixes, for variable-order derivation.
+pub(crate) fn case_delta(case: CaseId) -> Option<i64> {
+    match case {
+        CaseId::Monolithic | CaseId::FarOut => None,
+        CaseId::OverlapNoCancel { delta } => Some(delta),
+        CaseId::OverlapCancel { delta, .. } => Some(delta),
+    }
+}
+
+/// BDD symbolic simulation with care-set minimization
+/// (wraps [`check_miter_bdd_parts`]).
+#[derive(Clone, Debug)]
+pub struct BddCaseEngine {
+    /// Minimization strategy.
+    pub minimize: Minimize,
+    /// Garbage-collection threshold for the node arena.
+    pub gc_threshold: usize,
+}
+
+impl Default for BddCaseEngine {
+    fn default() -> Self {
+        BddCaseEngine {
+            minimize: Minimize::Constrain,
+            gc_threshold: 2_000_000,
+        }
+    }
+}
+
+impl CaseEngine for BddCaseEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Bdd
+    }
+
+    fn name(&self) -> &'static str {
+        match self.minimize {
+            Minimize::Constrain => "bdd/constrain",
+            Minimize::Restrict => "bdd/restrict",
+            Minimize::None => "bdd/plain",
+        }
+    }
+
+    fn check(
+        &self,
+        harness: &Harness,
+        _op: FpuOp,
+        case: CaseId,
+        constraint_parts: &[Signal],
+        budget: &EngineBudget,
+    ) -> EngineOutcome {
+        let order = paper_order(harness, case_delta(case));
+        let out = check_miter_bdd_parts(
+            &harness.netlist,
+            harness.miter,
+            constraint_parts,
+            &BddEngineOptions {
+                minimize: self.minimize,
+                order,
+                gc_threshold: self.gc_threshold,
+                node_limit: budget.node_limit,
+            },
+        );
+        bdd_outcome_to_engine(out)
+    }
+}
+
+/// Cycle-accurate BDD symbolic simulation for pipelined harnesses
+/// (wraps [`check_miter_bdd_sequential`]).
+#[derive(Clone, Debug)]
+pub struct BddSeqCaseEngine {
+    /// Minimization strategy.
+    pub minimize: Minimize,
+    /// Garbage-collection threshold for the node arena.
+    pub gc_threshold: usize,
+    /// Cycle at which the miter is sampled; `None` derives it from the
+    /// harness's pipeline latency.
+    pub check_cycle: Option<usize>,
+}
+
+impl Default for BddSeqCaseEngine {
+    fn default() -> Self {
+        BddSeqCaseEngine {
+            minimize: Minimize::Constrain,
+            gc_threshold: 2_000_000,
+            check_cycle: None,
+        }
+    }
+}
+
+impl CaseEngine for BddSeqCaseEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::BddSequential
+    }
+
+    fn name(&self) -> &'static str {
+        "bdd-seq"
+    }
+
+    fn check(
+        &self,
+        harness: &Harness,
+        _op: FpuOp,
+        case: CaseId,
+        constraint_parts: &[Signal],
+        budget: &EngineBudget,
+    ) -> EngineOutcome {
+        let order = paper_order(harness, case_delta(case));
+        let check_cycle = self
+            .check_cycle
+            .unwrap_or_else(|| harness.options().pipeline.latency());
+        let out = check_miter_bdd_sequential(
+            &harness.netlist,
+            harness.miter,
+            constraint_parts,
+            check_cycle,
+            &BddEngineOptions {
+                minimize: self.minimize,
+                order,
+                gc_threshold: self.gc_threshold,
+                node_limit: budget.node_limit,
+            },
+        );
+        bdd_outcome_to_engine(out)
+    }
+}
+
+/// Structural SAT with optional redundancy removal
+/// (wraps [`check_miter_sat_parts`]).
+#[derive(Clone, Debug, Default)]
+pub struct SatCaseEngine {
+    /// Run SAT sweeping on the cone before solving.
+    pub sweep_first: bool,
+}
+
+impl CaseEngine for SatCaseEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Sat
+    }
+
+    fn name(&self) -> &'static str {
+        if self.sweep_first {
+            "sat/sweep"
+        } else {
+            "sat"
+        }
+    }
+
+    fn check(
+        &self,
+        harness: &Harness,
+        _op: FpuOp,
+        _case: CaseId,
+        constraint_parts: &[Signal],
+        budget: &EngineBudget,
+    ) -> EngineOutcome {
+        let out = check_miter_sat_parts(
+            &harness.netlist,
+            harness.miter,
+            constraint_parts,
+            &SatEngineOptions {
+                sweep_first: self.sweep_first,
+                conflict_budget: budget.conflict_limit,
+            },
+        );
+        let stats = EngineStats {
+            peak_bdd_nodes: None,
+            care_nodes: None,
+            sat_conflicts: Some(out.stats.conflicts),
+            coi_ands: Some(out.cone_ands),
+            wall: out.duration,
+        };
+        let verdict = if out.unknown {
+            EngineVerdict::BudgetExceeded
+        } else if out.holds {
+            EngineVerdict::Holds
+        } else {
+            match out.counterexample {
+                Some(cex) => EngineVerdict::Counterexample(cex),
+                None => {
+                    EngineVerdict::Error("SAT engine reported failure without a model".to_string())
+                }
+            }
+        };
+        EngineOutcome { verdict, stats }
+    }
+}
+
+fn bdd_outcome_to_engine(out: crate::engine_bdd::BddOutcome) -> EngineOutcome {
+    let stats = EngineStats {
+        peak_bdd_nodes: Some(out.peak_nodes),
+        care_nodes: Some(out.care_nodes),
+        sat_conflicts: None,
+        coi_ands: None,
+        wall: out.duration,
+    };
+    let verdict = if out.aborted {
+        EngineVerdict::BudgetExceeded
+    } else if out.holds {
+        EngineVerdict::Holds
+    } else {
+        match out.counterexample {
+            Some(cex) => EngineVerdict::Counterexample(cex),
+            None => EngineVerdict::Error("BDD engine reported failure without a model".to_string()),
+        }
+    };
+    EngineOutcome { verdict, stats }
+}
+
+/// Convenience constructors for shared engine handles.
+impl BddCaseEngine {
+    /// Boxes the engine behind an [`Arc`] for use in a schedule ladder.
+    pub fn shared(self) -> Arc<dyn CaseEngine> {
+        Arc::new(self)
+    }
+}
+
+impl BddSeqCaseEngine {
+    /// Boxes the engine behind an [`Arc`] for use in a schedule ladder.
+    pub fn shared(self) -> Arc<dyn CaseEngine> {
+        Arc::new(self)
+    }
+}
+
+impl SatCaseEngine {
+    /// Boxes the engine behind an [`Arc`] for use in a schedule ladder.
+    pub fn shared(self) -> Arc<dyn CaseEngine> {
+        Arc::new(self)
+    }
+}

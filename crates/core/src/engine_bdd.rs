@@ -347,7 +347,10 @@ pub fn check_miter_bdd_parts(
         }
         let mut cex = HashMap::new();
         for (v, name) in &input_name_of_var {
-            cex.insert(name.clone(), by_var.get(&v.index()).copied().unwrap_or(false));
+            cex.insert(
+                name.clone(),
+                by_var.get(&v.index()).copied().unwrap_or(false),
+            );
         }
         Some(cex)
     };
@@ -471,9 +474,7 @@ mod tests {
         let a = n.word_input("a", 4);
         let b = n.word_input("b", 4);
         let eq = n.eq_word(&a, &b);
-        let order: Vec<Signal> = (0..4)
-            .flat_map(|i| [a.bit(i), b.bit(i)])
-            .collect();
+        let order: Vec<Signal> = (0..4).flat_map(|i| [a.bit(i), b.bit(i)]).collect();
         let interleaved = check_miter_bdd(
             &n,
             !eq,

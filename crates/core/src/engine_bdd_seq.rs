@@ -41,9 +41,9 @@ pub fn check_miter_bdd_sequential(
     let mut var_of_node: HashMap<u32, BddVar> = HashMap::new();
     let mut input_name_of_var: Vec<(BddVar, String)> = Vec::new();
     let add_var = |mgr: &mut BddManager,
-                       var_of_node: &mut HashMap<u32, BddVar>,
-                       names: &mut Vec<(BddVar, String)>,
-                       sig: Signal| {
+                   var_of_node: &mut HashMap<u32, BddVar>,
+                   names: &mut Vec<(BddVar, String)>,
+                   sig: Signal| {
         let id = sig.node().index() as u32;
         if var_of_node.contains_key(&id) {
             return;
@@ -89,10 +89,7 @@ pub fn check_miter_bdd_sequential(
                 Node::Latch { init, .. } => *init,
                 _ => unreachable!(),
             };
-            (
-                l.index() as u32,
-                if init { Bdd::TRUE } else { Bdd::FALSE },
-            )
+            (l.index() as u32, if init { Bdd::TRUE } else { Bdd::FALSE })
         })
         .collect();
 
@@ -190,11 +187,13 @@ pub fn check_miter_bdd_sequential(
         None
     } else {
         let path = mgr.pick_sat(bad).expect("satisfiable");
-        let by_var: HashMap<usize, bool> =
-            path.into_iter().map(|(v, b)| (v.index(), b)).collect();
+        let by_var: HashMap<usize, bool> = path.into_iter().map(|(v, b)| (v.index(), b)).collect();
         let mut cex = HashMap::new();
         for (v, name) in &input_name_of_var {
-            cex.insert(name.clone(), by_var.get(&v.index()).copied().unwrap_or(false));
+            cex.insert(
+                name.clone(),
+                by_var.get(&v.index()).copied().unwrap_or(false),
+            );
         }
         Some(cex)
     };
@@ -335,9 +334,8 @@ mod tests {
         );
         // Inject a fault into an AND gate feeding a register next-state
         // function (a sequential-only bug).
-        let parts_all = harness.case_constraint_parts(FpuOp::Fma, CaseId::OverlapNoCancel {
-            delta: 3,
-        });
+        let parts_all =
+            harness.case_constraint_parts(FpuOp::Fma, CaseId::OverlapNoCancel { delta: 3 });
         for (i, p) in parts_all.iter().enumerate() {
             harness.netlist.probe(format!("seqbug#{i}"), *p);
         }
@@ -384,7 +382,10 @@ mod tests {
                 PipelineMode::ThreeStage.latency(),
                 &BddEngineOptions::default(),
             );
-            assert!(!out2.holds, "an inverted state-feeding gate must be visible");
+            assert!(
+                !out2.holds,
+                "an inverted state-feeding gate must be visible"
+            );
             let cex = out2.counterexample.expect("cex");
             assert!(!cex.is_empty());
         } else {

@@ -9,9 +9,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use fmaverify_netlist::{
-    sat_sweep, Netlist, Node, SatEncoder, Signal, SweepOptions,
-};
+use fmaverify_netlist::{sat_sweep, Netlist, Node, SatEncoder, Signal, SweepOptions};
 use fmaverify_sat::{SolveResult, Solver, SolverStats};
 
 /// Options for a SAT check.

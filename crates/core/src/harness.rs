@@ -177,8 +177,9 @@ impl Harness {
         let wexp = cfg.exp_arith_bits();
         let dmin = cfg.delta_min_overlap();
         let dmax = cfg.delta_max_overlap();
-        let signed_const =
-            |n: &mut Netlist, v: i64| n.word_const(wexp, (v as i128 & ((1i128 << wexp) - 1)) as u128);
+        let signed_const = |n: &mut Netlist, v: i64| {
+            n.word_const(wexp, (v as i128 & ((1i128 << wexp) - 1)) as u128)
+        };
 
         let mut parts = vec![op_c];
         match case {
@@ -229,8 +230,9 @@ impl Harness {
         let cfg = &self.cfg;
         let delta = architected_delta(n, cfg, &self.inputs);
         let wexp = cfg.exp_arith_bits();
-        let signed_const =
-            |n: &mut Netlist, v: i64| n.word_const(wexp, (v as i128 & ((1i128 << wexp) - 1)) as u128);
+        let signed_const = |n: &mut Netlist, v: i64| {
+            n.word_const(wexp, (v as i128 & ((1i128 << wexp) - 1)) as u128)
+        };
         let mut acc = Signal::FALSE;
         let mut seen_deltas = std::collections::HashSet::new();
         for case in cases {

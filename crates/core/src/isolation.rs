@@ -12,9 +12,7 @@
 
 use std::time::{Duration, Instant};
 
-use fmaverify_fpu::{
-    build_impl_fpu, FpuConfig, FpuInputs, MultiplierMode, PipelineMode,
-};
+use fmaverify_fpu::{build_impl_fpu, FpuConfig, FpuInputs, MultiplierMode, PipelineMode};
 use fmaverify_netlist::{BitSim, Netlist, SatEncoder, Signal};
 use fmaverify_sat::{SolveResult, Solver};
 use rand::rngs::StdRng;
@@ -39,10 +37,7 @@ pub struct SoundnessResult {
 
 /// Builds the real-multiplier netlist and proves by SAT that `S`,`T`
 /// satisfy [`multiplier_property`] plus the given hot-one constants.
-pub fn prove_multiplier_soundness(
-    cfg: &FpuConfig,
-    st_constants: &[StConstant],
-) -> SoundnessResult {
+pub fn prove_multiplier_soundness(cfg: &FpuConfig, st_constants: &[StConstant]) -> SoundnessResult {
     prove_multiplier_soundness_for(cfg, st_constants, MultiplierMode::Real)
 }
 
@@ -171,17 +166,16 @@ pub fn derive_st_constants_for(
 
 /// Picks random `S'`,`T'` values satisfying the basic range property, for
 /// testing the isolated harness concretely.
-pub fn random_valid_st(
-    cfg: &FpuConfig,
-    rng: &mut StdRng,
-    ma: u128,
-    mb: u128,
-) -> (u128, u128) {
+pub fn random_valid_st(cfg: &FpuConfig, rng: &mut StdRng, ma: u128, mb: u128) -> (u128, u128) {
     let wwin = cfg.window_bits() as u32;
     let product = ma * mb;
     // Any split S + T = product (mod 2^wwin) is a valid multiplier output
     // behaviourally; pick a random S and derive T.
-    let mask = if wwin >= 128 { u128::MAX } else { (1u128 << wwin) - 1 };
+    let mask = if wwin >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << wwin) - 1
+    };
     let s = rng.gen::<u128>() & mask;
     let t = product.wrapping_sub(s) & mask;
     let _ = cfg;

@@ -1,0 +1,378 @@
+//! JSON serialization of verification results.
+//!
+//! Machine-readable output for the bench binaries' `--json` flag: per-case
+//! results, instruction reports and Table-1 rows are rendered as JSON so
+//! downstream tooling (regression dashboards, plotting) can consume runs
+//! without scraping text tables.
+//!
+//! This is a small hand-rolled emitter rather than a `serde` derive: the
+//! workspace must build in offline environments where crates.io is not
+//! reachable, and `serde`'s proc-macro stack cannot be vendored as a shim
+//! the way plain-library dependencies can. The [`ToJson`] trait plays the
+//! role of `Serialize` for the handful of report types that need it.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::engine::{EngineKind, EngineStats};
+use crate::report::TableRow;
+use crate::runner::{CaseAttempt, CaseResult, CounterExample, InstructionReport, Verdict};
+
+/// A JSON document fragment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (emitted without trailing zeros where possible).
+    Number(f64),
+    /// A string (escaped on render).
+    String(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for object values.
+    pub fn object(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// A string value.
+    pub fn string(s: impl Into<String>) -> JsonValue {
+        JsonValue::String(s.into())
+    }
+
+    /// An integer value (exact for |v| ≤ 2^53).
+    pub fn int(v: impl TryInto<i64>) -> JsonValue {
+        JsonValue::Number(v.try_into().map(|x| x as f64).unwrap_or(f64::MAX))
+    }
+
+    /// `value.map(f)` or `null`.
+    pub fn opt<T>(value: Option<T>, f: impl FnOnce(T) -> JsonValue) -> JsonValue {
+        value.map(f).unwrap_or(JsonValue::Null)
+    }
+
+    /// Renders the value as a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    /// Renders the value with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize, pretty: bool) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                write_seq(out, depth, pretty, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, depth + 1, pretty);
+                });
+            }
+            JsonValue::Object(fields) => {
+                write_seq(out, depth, pretty, '{', '}', fields.len(), |out, i| {
+                    write_escaped(out, &fields[i].0);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    fields[i].1.write(out, depth + 1, pretty);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    depth: usize,
+    pretty: bool,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if pretty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(depth + 1));
+        }
+        item(out, i);
+    }
+    if pretty && len > 0 {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types renderable as JSON (the offline stand-in for `serde::Serialize`).
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> JsonValue;
+}
+
+fn duration_json(d: Duration) -> JsonValue {
+    JsonValue::Number(d.as_secs_f64())
+}
+
+impl ToJson for EngineKind {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::string(match self {
+            EngineKind::Bdd => "bdd",
+            EngineKind::BddSequential => "bdd-seq",
+            EngineKind::Sat => "sat",
+        })
+    }
+}
+
+impl ToJson for Verdict {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::string(match self {
+            Verdict::Holds => "holds",
+            Verdict::Fails => "fails",
+            Verdict::BudgetExceeded => "budget-exceeded",
+            Verdict::Error => "error",
+            Verdict::Canceled => "canceled",
+        })
+    }
+}
+
+impl ToJson for EngineStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            (
+                "peak_bdd_nodes",
+                JsonValue::opt(self.peak_bdd_nodes, JsonValue::int),
+            ),
+            (
+                "care_nodes",
+                JsonValue::opt(self.care_nodes, JsonValue::int),
+            ),
+            (
+                "sat_conflicts",
+                JsonValue::opt(self.sat_conflicts, JsonValue::int),
+            ),
+            ("coi_ands", JsonValue::opt(self.coi_ands, JsonValue::int)),
+            ("wall_seconds", duration_json(self.wall)),
+        ])
+    }
+}
+
+impl ToJson for CounterExample {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("a", JsonValue::string(format!("{:#x}", self.a))),
+            ("b", JsonValue::string(format!("{:#x}", self.b))),
+            ("c", JsonValue::string(format!("{:#x}", self.c))),
+            ("op", JsonValue::int(self.op)),
+            ("rm", JsonValue::int(self.rm)),
+            ("replay_confirmed", JsonValue::Bool(self.replay_confirmed)),
+        ])
+    }
+}
+
+impl ToJson for CaseAttempt {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("engine", self.engine.to_json()),
+            ("engine_name", JsonValue::string(self.engine_name)),
+            (
+                "node_limit",
+                JsonValue::opt(self.budget.node_limit, JsonValue::int),
+            ),
+            (
+                "conflict_limit",
+                JsonValue::opt(self.budget.conflict_limit, JsonValue::int),
+            ),
+            ("verdict", self.verdict.to_json()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CaseResult {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("case", JsonValue::string(format!("{:?}", self.case))),
+            (
+                "class",
+                JsonValue::string(format!("{:?}", self.case.class())),
+            ),
+            ("op", JsonValue::string(format!("{:?}", self.op))),
+            ("engine", self.engine.to_json()),
+            ("verdict", self.verdict.to_json()),
+            (
+                "counterexample",
+                JsonValue::opt(self.counterexample.as_ref(), |c| c.to_json()),
+            ),
+            (
+                "error",
+                JsonValue::opt(self.error.as_deref(), JsonValue::string),
+            ),
+            ("stats", self.stats.to_json()),
+            (
+                "attempts",
+                JsonValue::Array(self.attempts.iter().map(|a| a.to_json()).collect()),
+            ),
+            ("escalations", JsonValue::int(self.escalations() as u64)),
+            ("duration_seconds", duration_json(self.duration)),
+        ])
+    }
+}
+
+impl ToJson for InstructionReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("op", JsonValue::string(format!("{:?}", self.op))),
+            ("all_hold", JsonValue::Bool(self.all_hold())),
+            ("cases", JsonValue::int(self.results.len() as u64)),
+            (
+                "escalated_cases",
+                JsonValue::int(self.escalated_cases() as u64),
+            ),
+            ("wall_seconds", duration_json(self.wall)),
+            ("accumulated_seconds", duration_json(self.accumulated)),
+            (
+                "results",
+                JsonValue::Array(self.results.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for TableRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("op", JsonValue::string(format!("{:?}", self.op))),
+            ("class", JsonValue::string(format!("{:?}", self.class))),
+            ("cases", JsonValue::int(self.cases as u64)),
+            (
+                "nodes_avg",
+                JsonValue::opt(self.nodes_avg, JsonValue::Number),
+            ),
+            ("nodes_max", JsonValue::opt(self.nodes_max, JsonValue::int)),
+            ("time_avg_seconds", duration_json(self.time_avg)),
+            ("time_max_seconds", duration_json(self.time_max)),
+            ("time_total_seconds", duration_json(self.time_total)),
+        ])
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(|t| t.to_json()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        self.as_slice().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_escapes_and_shapes() {
+        let v = JsonValue::object(vec![
+            ("s", JsonValue::string("a\"b\\c\nd")),
+            ("n", JsonValue::Number(1.5)),
+            ("i", JsonValue::int(42u64)),
+            ("t", JsonValue::Bool(true)),
+            ("z", JsonValue::Null),
+            (
+                "arr",
+                JsonValue::Array(vec![JsonValue::int(1u8), JsonValue::int(2u8)]),
+            ),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"s":"a\"b\\c\nd","n":1.5,"i":42,"t":true,"z":null,"arr":[1,2]}"#
+        );
+        // Pretty rendering parses back to the same structure shape-wise.
+        let pretty = v.render_pretty();
+        assert!(pretty.contains("\n  \"s\": "));
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(JsonValue::Number(3.0).render(), "3");
+        assert_eq!(JsonValue::Number(3.25).render(), "3.25");
+    }
+
+    #[test]
+    fn case_result_round_trips_key_fields() {
+        use crate::engine::EngineStats;
+        use crate::runner::Verdict;
+        use fmaverify_fpu::FpuOp;
+
+        let r = CaseResult {
+            case: crate::cases::CaseId::FarOut,
+            op: FpuOp::Fma,
+            engine: EngineKind::Sat,
+            verdict: Verdict::Holds,
+            counterexample: None,
+            error: None,
+            stats: EngineStats {
+                sat_conflicts: Some(12),
+                coi_ands: Some(900),
+                ..EngineStats::default()
+            },
+            attempts: Vec::new(),
+            duration: Duration::from_millis(5),
+        };
+        let text = r.to_json().render();
+        assert!(text.contains(r#""verdict":"holds""#));
+        assert!(text.contains(r#""engine":"sat""#));
+        assert!(text.contains(r#""sat_conflicts":12"#));
+    }
+}

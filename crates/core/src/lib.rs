@@ -12,15 +12,22 @@
 //! * [`cases`] — the 586-case split at double precision (δ cases, `C_sha`
 //!   sub-cases, far-out), and the quadratic §6 extension for denormal
 //!   operands;
-//! * [`engine_bdd`] / [`engine_sat`] — BDD symbolic simulation with
-//!   care-set minimization, and structural SAT;
+//! * [`engine`] — the unified [`CaseEngine`] trait: every decision
+//!   procedure returns one [`engine::EngineOutcome`] (holds /
+//!   counterexample / budget-exceeded / error) with uniform
+//!   [`engine::EngineStats`];
+//! * [`engine_bdd`] / [`engine_sat`] / [`engine_bdd_seq`] — BDD symbolic
+//!   simulation with care-set minimization, structural SAT, and the
+//!   cycle-accurate sequential BDD engine, all behind the trait;
 //! * [`order`] — the paper's static variable orders;
 //! * [`isolation`] — the multiplier-isolation soundness obligation and the
 //!   automatic derivation of the implementation-specific `S'`,`T'` rules;
 //! * [`completeness`] — the tautology proof that the case split covers the
 //!   whole input space;
-//! * [`runner`] / [`report`] — parallel case execution and Table-1-style
-//!   aggregation;
+//! * [`runner`] / [`report`] — the work-stealing scheduler with per-case
+//!   budgets, [`runner::SchedulePolicy`] escalation ladders and
+//!   cancellation, plus Table-1-style aggregation;
+//! * [`json`] — machine-readable (JSON) result serialization;
 //! * [`cec`] — combinational equivalence checking via SAT sweeping;
 //! * [`mutate`] — fault injection for verifying the verifier.
 //!
@@ -46,11 +53,13 @@
 pub mod cases;
 pub mod cec;
 pub mod completeness;
+pub mod engine;
 pub mod engine_bdd;
 pub mod engine_bdd_seq;
 pub mod engine_sat;
 pub mod harness;
 pub mod isolation;
+pub mod json;
 pub mod mutate;
 pub mod order;
 pub mod report;
@@ -66,19 +75,32 @@ pub use fmaverify_softfloat::{FpFormat, RoundingMode};
 pub use cases::{cancellation_deltas, enumerate_cases, CaseClass, CaseId, ShaCase};
 pub use cec::{check_equivalence, import_netlist, CecResult};
 pub use completeness::{prove_completeness, CompletenessResult};
-pub use engine_bdd::{check_miter_bdd, check_miter_bdd_parts, BddEngineOptions, BddOutcome, Minimize};
+pub use engine::{
+    BddCaseEngine, BddSeqCaseEngine, CaseEngine, EngineBudget, EngineKind, EngineOutcome,
+    EngineStats, EngineVerdict, SatCaseEngine,
+};
+pub use engine_bdd::{
+    check_miter_bdd, check_miter_bdd_parts, BddEngineOptions, BddOutcome, Minimize,
+};
 pub use engine_bdd_seq::check_miter_bdd_sequential;
-pub use engine_sat::{check_miter_sat, check_miter_sat_parts, prove_tautology, SatEngineOptions, SatOutcome};
+pub use engine_sat::{
+    check_miter_sat, check_miter_sat_parts, prove_tautology, SatEngineOptions, SatOutcome,
+};
 pub use harness::{
     architected_delta, build_harness, multiplier_property, Harness, HarnessOptions, StConstant,
 };
-pub use isolation::{derive_st_constants, derive_st_constants_for, prove_multiplier_soundness, prove_multiplier_soundness_for, SoundnessResult};
+pub use isolation::{
+    derive_st_constants, derive_st_constants_for, prove_multiplier_soundness,
+    prove_multiplier_soundness_for, SoundnessResult,
+};
+pub use json::{JsonValue, ToJson};
 pub use mutate::{inject_fault, random_fault, Mutation, MutationKind};
 pub use order::{naive_order, paper_order};
 pub use report::{render_table1, summarize, table1_rows, TableRow};
+pub use runner::{
+    run_case_ladder, run_cases, run_cases_with_policy, run_single_case, verify_instruction,
+    verify_instruction_with_policy, CancellationToken, CaseAttempt, CaseResult, CounterExample,
+    EngineStage, InstructionReport, RunOptions, SchedulePolicy, Verdict,
+};
 pub use semi_formal::{semi_formal_check, SemiFormalOutcome};
 pub use sequential::{unroll_harness, UnrolledHarness};
-pub use runner::{
-    engine_for_case, run_cases, run_single_case, verify_instruction, CaseResult, CounterExample,
-    Engine, InstructionReport, RunOptions,
-};

@@ -84,7 +84,10 @@ pub fn inject_fault(netlist: &Netlist, target: NodeId, kind: MutationKind) -> Ne
         remap[id.index()] = new_sig;
     }
     for &l in netlist.latches() {
-        if let Node::Latch { next, connected, .. } = netlist.node(l) {
+        if let Node::Latch {
+            next, connected, ..
+        } = netlist.node(l)
+        {
             if *connected {
                 let nn = apply(&remap, *next);
                 out.set_latch_next(remap[l.index()], nn);
@@ -105,11 +108,7 @@ pub fn inject_fault(netlist: &Netlist, target: NodeId, kind: MutationKind) -> Ne
 
 /// Picks a random AND node inside the cone of `within` and injects a random
 /// fault. Returns the mutated netlist and a description of the fault.
-pub fn random_fault(
-    netlist: &Netlist,
-    within: &[Signal],
-    seed: u64,
-) -> (Netlist, Mutation) {
+pub fn random_fault(netlist: &Netlist, within: &[Signal], seed: u64) -> (Netlist, Mutation) {
     let cone = netlist.comb_cone(within);
     let candidates: Vec<NodeId> = netlist
         .node_ids()
@@ -119,10 +118,7 @@ pub fn random_fault(
     let mut rng = StdRng::seed_from_u64(seed);
     let node = candidates[rng.gen_range(0..candidates.len())];
     let kind = MutationKind::ALL[rng.gen_range(0..MutationKind::ALL.len())];
-    (
-        inject_fault(netlist, node, kind),
-        Mutation { node, kind },
-    )
+    (inject_fault(netlist, node, kind), Mutation { node, kind })
 }
 
 #[inline]

@@ -10,7 +10,8 @@ use std::time::Duration;
 use fmaverify_fpu::FpuOp;
 
 use crate::cases::CaseClass;
-use crate::runner::{CaseResult, Engine, InstructionReport};
+use crate::engine::EngineKind;
+use crate::runner::{CaseResult, InstructionReport};
 
 /// One row of the Table-1 reproduction.
 #[derive(Clone, Debug)]
@@ -56,7 +57,7 @@ pub fn table1_rows(reports: &[InstructionReport]) -> Vec<TableRow> {
 fn aggregate_row(op: FpuOp, class: CaseClass, results: &[&CaseResult]) -> TableRow {
     let bdd: Vec<usize> = results
         .iter()
-        .filter_map(|r| r.bdd_peak_nodes)
+        .filter_map(|r| r.stats.peak_bdd_nodes)
         .collect();
     let (nodes_avg, nodes_max) = if bdd.is_empty() {
         (None, None)
@@ -135,23 +136,34 @@ pub fn render_table1(rows: &[TableRow]) -> String {
 }
 
 /// Renders a one-line summary of an instruction report (accumulated time,
-/// engine split, pass/fail).
+/// engine split, escalations, pass/fail).
 pub fn summarize(report: &InstructionReport) -> String {
     let bdd = report
         .results
         .iter()
-        .filter(|r| r.engine == Engine::Bdd)
+        .filter(|r| matches!(r.engine, EngineKind::Bdd | EngineKind::BddSequential))
         .count();
     let sat = report.results.len() - bdd;
+    let escalated = report.escalated_cases();
+    let escalation_note = if escalated > 0 {
+        format!(", {escalated} escalated")
+    } else {
+        String::new()
+    };
     format!(
-        "{}: {} cases ({} BDD, {} SAT), accumulated {:?}, wall {:?}, {}",
+        "{}: {} cases ({} BDD, {} SAT{}), accumulated {:?}, wall {:?}, {}",
         op_name(report.op),
         report.results.len(),
         bdd,
         sat,
+        escalation_note,
         report.accumulated,
         report.wall,
-        if report.all_hold() { "ALL HOLD" } else { "FAILURES" }
+        if report.all_hold() {
+            "ALL HOLD"
+        } else {
+            "FAILURES"
+        }
     )
 }
 
@@ -161,14 +173,25 @@ mod tests {
     use crate::cases::CaseId;
 
     fn fake_result(case: CaseId, nodes: Option<usize>, ms: u64) -> CaseResult {
+        use crate::engine::EngineStats;
+        use crate::runner::Verdict;
         CaseResult {
             case,
             op: FpuOp::Fma,
-            engine: if nodes.is_some() { Engine::Bdd } else { Engine::Sat },
-            holds: true,
+            engine: if nodes.is_some() {
+                EngineKind::Bdd
+            } else {
+                EngineKind::Sat
+            },
+            verdict: Verdict::Holds,
             counterexample: None,
-            bdd_peak_nodes: nodes,
-            sat_conflicts: nodes.is_none().then_some(10),
+            error: None,
+            stats: EngineStats {
+                peak_bdd_nodes: nodes,
+                sat_conflicts: nodes.is_none().then_some(10),
+                ..EngineStats::default()
+            },
+            attempts: Vec::new(),
             duration: Duration::from_millis(ms),
         }
     }

@@ -1,29 +1,38 @@
 //! Case orchestration: builds the constraints for every case of an
-//! instruction, dispatches each to the appropriate engine (SAT for far-out
-//! and multiply, BDD symbolic simulation for the overlap cases), runs them
-//! in parallel, and collects per-case statistics — the paper's regression
-//! that "takes less than a day when running 10 jobs in parallel".
+//! instruction, schedules each onto the engine ladder its class prescribes,
+//! runs the cases on a work-stealing thread pool, and collects per-case
+//! statistics — the paper's regression that "takes less than a day when
+//! running 10 jobs in parallel".
+//!
+//! Engines are driven exclusively through the [`CaseEngine`] trait; which
+//! engine runs, with what budget, and what happens when a budget is
+//! exhausted is decided by a [`SchedulePolicy`]: an escalation ladder of
+//! `(engine, budget)` stages per case class. The default policy reproduces
+//! the paper's assignment (BDD for overlap cases, SAT for far-out and the
+//! multiplier) and, when budgets are configured, escalates a blown BDD run
+//! to swept SAT and a blown SAT run to unbounded BDD.
+//!
+//! Results come back in case-enumeration order regardless of which worker
+//! finished first, so runs are reproducible; a [`CancellationToken`] lets
+//! bug-hunting callers stop the whole sweep as soon as one counterexample
+//! is found.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use fmaverify_fpu::{FpuConfig, FpuOp};
 use fmaverify_netlist::{BitSim, Netlist, Signal};
 
 use crate::cases::{enumerate_cases, CaseClass, CaseId};
-use crate::engine_bdd::{check_miter_bdd_parts, BddEngineOptions, Minimize};
-use crate::engine_sat::{check_miter_sat_parts, SatEngineOptions};
+use crate::engine::{
+    BddCaseEngine, CaseEngine, EngineBudget, EngineKind, EngineOutcome, EngineStats, EngineVerdict,
+    SatCaseEngine,
+};
+use crate::engine_bdd::Minimize;
 use crate::harness::{build_harness, Harness, HarnessOptions};
-use crate::order::paper_order;
-
-/// Which engine discharged a case.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Engine {
-    /// BDD-based symbolic simulation.
-    Bdd,
-    /// SAT (structural satisfiability on the unfolded netlist).
-    Sat,
-}
 
 /// A counterexample decoded back to operand values.
 #[derive(Clone, Debug)]
@@ -40,6 +49,40 @@ pub struct CounterExample {
     pub op: u32,
     /// Rounding-mode code.
     pub rm: u32,
+    /// True iff replaying the assignment on the netlist made the miter
+    /// fire. A `false` here means the *engine* is buggy: it produced an
+    /// assignment the design does not actually fail on.
+    pub replay_confirmed: bool,
+}
+
+/// Final status of one case after the whole ladder ran.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The case was proved.
+    Holds,
+    /// A counterexample was found.
+    Fails,
+    /// Every ladder stage exhausted its budget.
+    BudgetExceeded,
+    /// Every remaining ladder stage errored (e.g. panicked).
+    Error,
+    /// The run was canceled before this case was decided.
+    Canceled,
+}
+
+/// One engine attempt on a case (a rung of the escalation ladder).
+#[derive(Clone, Debug)]
+pub struct CaseAttempt {
+    /// The engine kind.
+    pub engine: EngineKind,
+    /// The engine's short name (e.g. `"bdd/constrain"`, `"sat/sweep"`).
+    pub engine_name: &'static str,
+    /// The budget the attempt ran under.
+    pub budget: EngineBudget,
+    /// What the attempt concluded.
+    pub verdict: Verdict,
+    /// Resources the attempt spent.
+    pub stats: EngineStats,
 }
 
 /// Per-case verification result.
@@ -49,18 +92,153 @@ pub struct CaseResult {
     pub case: CaseId,
     /// The instruction.
     pub op: FpuOp,
-    /// The engine used.
-    pub engine: Engine,
-    /// Whether the case held.
-    pub holds: bool,
-    /// Counterexample on failure.
+    /// The engine whose attempt decided the case (the last attempt's engine
+    /// when nothing decided it).
+    pub engine: EngineKind,
+    /// The final verdict.
+    pub verdict: Verdict,
+    /// Counterexample when the verdict is [`Verdict::Fails`].
     pub counterexample: Option<CounterExample>,
-    /// Peak BDD nodes (BDD engine only).
-    pub bdd_peak_nodes: Option<usize>,
-    /// SAT conflicts (SAT engine only).
-    pub sat_conflicts: Option<u64>,
-    /// Wall-clock time for this case.
+    /// Engine error message when the verdict is [`Verdict::Error`].
+    pub error: Option<String>,
+    /// Stats of the deciding attempt.
+    pub stats: EngineStats,
+    /// Every attempt in ladder order (length > 1 iff the case escalated).
+    pub attempts: Vec<CaseAttempt>,
+    /// Total wall-clock time across all attempts.
     pub duration: Duration,
+}
+
+impl CaseResult {
+    /// True iff the case was proved.
+    pub fn holds(&self) -> bool {
+        self.verdict == Verdict::Holds
+    }
+
+    /// Number of escalations (attempts beyond the first).
+    pub fn escalations(&self) -> usize {
+        self.attempts.len().saturating_sub(1)
+    }
+
+    /// Peak BDD nodes of the deciding attempt, when it was a BDD engine.
+    pub fn bdd_peak_nodes(&self) -> Option<usize> {
+        self.stats.peak_bdd_nodes
+    }
+
+    /// SAT conflicts of the deciding attempt, when it was the SAT engine.
+    pub fn sat_conflicts(&self) -> Option<u64> {
+        self.stats.sat_conflicts
+    }
+}
+
+/// Cooperative stop signal shared by every scheduler worker.
+///
+/// Cancelling does not interrupt an engine mid-flight; cases not yet
+/// started when the token trips are reported as [`Verdict::Canceled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancellationToken(Arc<AtomicBool>);
+
+impl CancellationToken {
+    /// A fresh, un-tripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the token; every worker stops picking up new cases.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancellationToken::cancel`] has been called.
+    pub fn is_canceled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// One rung of an escalation ladder: an engine plus the budget it may spend.
+#[derive(Clone)]
+pub struct EngineStage {
+    /// The engine.
+    pub engine: Arc<dyn CaseEngine>,
+    /// Its resource limits.
+    pub budget: EngineBudget,
+}
+
+impl std::fmt::Debug for EngineStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineStage")
+            .field("engine", &self.engine.name())
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+/// Which engines run for which case class, in what order, with what
+/// budgets.
+///
+/// The scheduler walks the ladder for a case top to bottom; the first stage
+/// returning a definite verdict wins. A stage that exhausts its budget
+/// *escalates* to the next; a stage that errors is skipped the same way.
+#[derive(Clone, Debug)]
+pub struct SchedulePolicy {
+    /// Ladder for the overlap cases (with and without cancellation).
+    pub overlap: Vec<EngineStage>,
+    /// Ladder for the far-out cases, the monolithic multiply check, and
+    /// every case of the multiply instruction.
+    pub farout: Vec<EngineStage>,
+}
+
+impl SchedulePolicy {
+    /// The policy [`RunOptions`] describe: the paper's engine assignment,
+    /// budgets from the options, plus one escalation rung per class when
+    /// `escalate` is set — a blown BDD run retries as swept SAT, a blown
+    /// SAT run retries as unbounded BDD.
+    pub fn from_options(options: &RunOptions) -> Self {
+        let bdd = BddCaseEngine {
+            minimize: options.minimize,
+            gc_threshold: options.gc_threshold,
+        };
+        let mut overlap = vec![EngineStage {
+            engine: bdd.clone().shared(),
+            budget: EngineBudget {
+                node_limit: options.node_budget,
+                conflict_limit: None,
+            },
+        }];
+        if options.escalate && options.node_budget.is_some() {
+            overlap.push(EngineStage {
+                engine: SatCaseEngine { sweep_first: true }.shared(),
+                budget: EngineBudget::UNLIMITED,
+            });
+        }
+        let mut farout = vec![EngineStage {
+            engine: SatCaseEngine {
+                sweep_first: options.sweep_before_sat,
+            }
+            .shared(),
+            budget: EngineBudget {
+                node_limit: None,
+                conflict_limit: options.conflict_budget,
+            },
+        }];
+        if options.escalate && options.conflict_budget.is_some() {
+            farout.push(EngineStage {
+                engine: bdd.shared(),
+                budget: EngineBudget::UNLIMITED,
+            });
+        }
+        SchedulePolicy { overlap, farout }
+    }
+
+    /// The ladder driving `case` of `op`.
+    pub fn ladder(&self, op: FpuOp, case: CaseId) -> &[EngineStage] {
+        match (op, case) {
+            // "Satisfiability checking was used to verify the far-out
+            // cases"; the multiply instruction is SAT end to end.
+            (FpuOp::Mul, _) | (_, CaseId::FarOut) | (_, CaseId::Monolithic) => &self.farout,
+            _ => &self.overlap,
+        }
+    }
 }
 
 /// Options for an instruction-level verification run.
@@ -72,10 +250,21 @@ pub struct RunOptions {
     pub minimize: Minimize,
     /// Threads for the parallel case run (0 = all available).
     pub threads: usize,
-    /// Run redundancy removal before SAT cases.
+    /// Run redundancy removal before first-rung SAT cases.
     pub sweep_before_sat: bool,
     /// Garbage-collection threshold for the BDD engine.
     pub gc_threshold: usize,
+    /// Per-case BDD node budget (`None` = unbounded first rung).
+    pub node_budget: Option<usize>,
+    /// Per-case SAT conflict budget (`None` = unbounded first rung).
+    pub conflict_budget: Option<u64>,
+    /// Retry a budget-exceeded case on the other engine class.
+    pub escalate: bool,
+    /// Cancel the remaining cases as soon as one counterexample is found
+    /// (bug-hunting mode).
+    pub stop_on_failure: bool,
+    /// External stop signal; checked before every case.
+    pub cancel: CancellationToken,
 }
 
 impl Default for RunOptions {
@@ -86,6 +275,11 @@ impl Default for RunOptions {
             threads: 0,
             sweep_before_sat: false,
             gc_threshold: 2_000_000,
+            node_budget: None,
+            conflict_budget: None,
+            escalate: true,
+            stop_on_failure: false,
+            cancel: CancellationToken::new(),
         }
     }
 }
@@ -95,7 +289,7 @@ impl Default for RunOptions {
 pub struct InstructionReport {
     /// The instruction.
     pub op: FpuOp,
-    /// All per-case results.
+    /// All per-case results, in case-enumeration order.
     pub results: Vec<CaseResult>,
     /// Total wall-clock time (parallel).
     pub wall: Duration,
@@ -104,14 +298,14 @@ pub struct InstructionReport {
 }
 
 impl InstructionReport {
-    /// True iff every case held.
+    /// True iff every case was proved.
     pub fn all_hold(&self) -> bool {
-        self.results.iter().all(|r| r.holds)
+        self.results.iter().all(|r| r.holds())
     }
 
-    /// The first failing case, if any.
+    /// The first case with a counterexample, if any.
     pub fn first_failure(&self) -> Option<&CaseResult> {
-        self.results.iter().find(|r| !r.holds)
+        self.results.iter().find(|r| r.verdict == Verdict::Fails)
     }
 
     /// Results belonging to one Table-1 class.
@@ -121,32 +315,30 @@ impl InstructionReport {
             .filter(|r| r.case.class() == class)
             .collect()
     }
-}
 
-/// Chooses the paper's engine assignment for a case.
-pub fn engine_for_case(op: FpuOp, case: CaseId) -> Engine {
-    match (op, case) {
-        // "Satisfiability checking was used to verify the far-out cases";
-        // the multiply instruction is SAT end to end.
-        (FpuOp::Mul, _) | (_, CaseId::FarOut) | (_, CaseId::Monolithic) => Engine::Sat,
-        _ => Engine::Bdd,
+    /// Number of cases that needed at least one escalation.
+    pub fn escalated_cases(&self) -> usize {
+        self.results.iter().filter(|r| r.escalations() > 0).count()
     }
 }
 
-/// The δ a case fixes, for order derivation.
-fn case_delta(case: CaseId) -> Option<i64> {
-    match case {
-        CaseId::Monolithic | CaseId::FarOut => None,
-        CaseId::OverlapNoCancel { delta } => Some(delta),
-        CaseId::OverlapCancel { delta, .. } => Some(delta),
-    }
+/// Verifies one instruction across all of its cases with the default
+/// policy derived from `options`.
+pub fn verify_instruction(cfg: &FpuConfig, op: FpuOp, options: &RunOptions) -> InstructionReport {
+    verify_instruction_with_policy(cfg, op, options, &SchedulePolicy::from_options(options))
 }
 
-/// Verifies one instruction across all of its cases.
+/// Verifies one instruction across all of its cases under an explicit
+/// [`SchedulePolicy`].
 ///
 /// Constraints for all cases are materialized in the shared netlist first;
 /// the per-case checks then run in parallel over the read-only netlist.
-pub fn verify_instruction(cfg: &FpuConfig, op: FpuOp, options: &RunOptions) -> InstructionReport {
+pub fn verify_instruction_with_policy(
+    cfg: &FpuConfig,
+    op: FpuOp,
+    options: &RunOptions,
+    policy: &SchedulePolicy,
+) -> InstructionReport {
     let start = Instant::now();
     let mut harness = build_harness(cfg, options.harness.clone());
     let cases = enumerate_cases(cfg, op);
@@ -154,7 +346,7 @@ pub fn verify_instruction(cfg: &FpuConfig, op: FpuOp, options: &RunOptions) -> I
         .iter()
         .map(|&case| (case, harness.case_constraint_parts(op, case)))
         .collect();
-    let results = run_cases(&harness, op, &constraints, options);
+    let results = run_cases_with_policy(&harness, op, &constraints, options, policy);
     let accumulated = results.iter().map(|r| r.duration).sum();
     InstructionReport {
         op,
@@ -164,12 +356,37 @@ pub fn verify_instruction(cfg: &FpuConfig, op: FpuOp, options: &RunOptions) -> I
     }
 }
 
-/// Runs pre-built `(case, constraint)` pairs in parallel on the harness.
+/// Runs pre-built `(case, constraint)` pairs in parallel on the harness
+/// with the default policy derived from `options`.
 pub fn run_cases(
     harness: &Harness,
     op: FpuOp,
     constraints: &[(CaseId, Vec<Signal>)],
     options: &RunOptions,
+) -> Vec<CaseResult> {
+    run_cases_with_policy(
+        harness,
+        op,
+        constraints,
+        options,
+        &SchedulePolicy::from_options(options),
+    )
+}
+
+/// Runs pre-built `(case, constraint)` pairs on a work-stealing pool under
+/// an explicit policy.
+///
+/// Each worker owns a deque seeded round-robin with case indices; an idle
+/// worker steals from the back of its neighbours' deques. Since cases are
+/// only ever removed, the pool terminates when every deque is empty.
+/// Results are returned in `constraints` order regardless of completion
+/// order.
+pub fn run_cases_with_policy(
+    harness: &Harness,
+    op: FpuOp,
+    constraints: &[(CaseId, Vec<Signal>)],
+    options: &RunOptions,
+    policy: &SchedulePolicy,
 ) -> Vec<CaseResult> {
     let threads = if options.threads == 0 {
         std::thread::available_parallelism()
@@ -178,30 +395,96 @@ pub fn run_cases(
     } else {
         options.threads
     };
-    let jobs = std::sync::Mutex::new(constraints.iter().enumerate());
-    let results = std::sync::Mutex::new(vec![None; constraints.len()]);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(constraints.len()).max(1) {
-            scope.spawn(|_| loop {
-                let job = { jobs.lock().expect("jobs lock").next() };
-                let Some((idx, (case, constraint))) = job else {
-                    break;
-                };
-                let r = run_single_case(harness, op, *case, constraint, options);
-                results.lock().expect("results lock")[idx] = Some(r);
+    let workers = threads.min(constraints.len()).max(1);
+
+    // Seed the per-worker deques round-robin so every worker starts with a
+    // spread of case classes (heavy and light cases interleave).
+    let queues: Vec<Mutex<std::collections::VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(
+                (0..constraints.len())
+                    .filter(|i| i % workers == w)
+                    .collect(),
+            )
+        })
+        .collect();
+    let results: Vec<Mutex<Option<CaseResult>>> =
+        (0..constraints.len()).map(|_| Mutex::new(None)).collect();
+    let cancel = &options.cancel;
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            scope.spawn(move || {
+                while let Some(idx) = next_job(w, queues) {
+                    let (case, constraint) = &constraints[idx];
+                    let result = if cancel.is_canceled() {
+                        canceled_result(op, *case, policy)
+                    } else {
+                        let r = run_case_ladder(
+                            harness,
+                            op,
+                            *case,
+                            constraint,
+                            policy.ladder(op, *case),
+                        );
+                        if options.stop_on_failure && r.verdict == Verdict::Fails {
+                            cancel.cancel();
+                        }
+                        r
+                    };
+                    *results[idx].lock().expect("result slot") = Some(result);
+                }
             });
         }
-    })
-    .expect("case worker panicked");
+    });
+
     results
-        .into_inner()
-        .expect("results lock")
         .into_iter()
-        .map(|r| r.expect("all jobs completed"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("all jobs completed")
+        })
         .collect()
 }
 
-/// Runs one case with the engine the paper assigns to it.
+/// Pops a job: first from the worker's own deque (front), then by stealing
+/// from the back of the other workers' deques.
+fn next_job(worker: usize, queues: &[Mutex<std::collections::VecDeque<usize>>]) -> Option<usize> {
+    if let Some(idx) = queues[worker].lock().expect("queue lock").pop_front() {
+        return Some(idx);
+    }
+    for off in 1..queues.len() {
+        let victim = (worker + off) % queues.len();
+        if let Some(idx) = queues[victim].lock().expect("queue lock").pop_back() {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+fn canceled_result(op: FpuOp, case: CaseId, policy: &SchedulePolicy) -> CaseResult {
+    let ladder = policy.ladder(op, case);
+    CaseResult {
+        case,
+        op,
+        engine: ladder
+            .first()
+            .map(|s| s.engine.kind())
+            .unwrap_or(EngineKind::Bdd),
+        verdict: Verdict::Canceled,
+        counterexample: None,
+        error: None,
+        stats: EngineStats::default(),
+        attempts: Vec::new(),
+        duration: Duration::ZERO,
+    }
+}
+
+/// Runs one case with the default policy derived from `options` (ladder
+/// escalation included, no threading).
 pub fn run_single_case(
     harness: &Harness,
     op: FpuOp,
@@ -209,63 +492,145 @@ pub fn run_single_case(
     constraint_parts: &[Signal],
     options: &RunOptions,
 ) -> CaseResult {
-    let engine = engine_for_case(op, case);
+    let policy = SchedulePolicy::from_options(options);
+    run_case_ladder(harness, op, case, constraint_parts, policy.ladder(op, case))
+}
+
+/// Walks one case down an escalation ladder until a stage decides it.
+pub fn run_case_ladder(
+    harness: &Harness,
+    op: FpuOp,
+    case: CaseId,
+    constraint_parts: &[Signal],
+    ladder: &[EngineStage],
+) -> CaseResult {
+    assert!(!ladder.is_empty(), "empty engine ladder for {case:?}");
     let start = Instant::now();
-    match engine {
-        Engine::Sat => {
-            let out = check_miter_sat_parts(
-                &harness.netlist,
-                harness.miter,
-                constraint_parts,
-                &SatEngineOptions {
-                    sweep_first: options.sweep_before_sat,
-                    conflict_budget: None,
-                },
-            );
-            CaseResult {
-                case,
-                op,
-                engine,
-                holds: out.holds,
-                counterexample: out
-                    .counterexample
-                    .map(|c| decode_cex(harness, c)),
-                bdd_peak_nodes: None,
-                sat_conflicts: Some(out.stats.conflicts),
-                duration: start.elapsed(),
+    let mut attempts: Vec<CaseAttempt> = Vec::with_capacity(1);
+    let mut last_error: Option<String> = None;
+
+    for stage in ladder {
+        let attempt_start = Instant::now();
+        // A panicking engine must not take down the scheduler: fold the
+        // panic into an Error verdict and let the ladder escalate past it.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            stage
+                .engine
+                .check(harness, op, case, constraint_parts, &stage.budget)
+        }))
+        .unwrap_or_else(|payload| {
+            EngineOutcome::error(panic_message(payload.as_ref()), attempt_start.elapsed())
+        });
+
+        let attempt_verdict = match &outcome.verdict {
+            EngineVerdict::Holds => Verdict::Holds,
+            EngineVerdict::Counterexample(_) => Verdict::Fails,
+            EngineVerdict::BudgetExceeded => Verdict::BudgetExceeded,
+            EngineVerdict::Error(_) => Verdict::Error,
+        };
+        attempts.push(CaseAttempt {
+            engine: stage.engine.kind(),
+            engine_name: stage.engine.name(),
+            budget: stage.budget,
+            verdict: attempt_verdict,
+            stats: outcome.stats.clone(),
+        });
+
+        match outcome.verdict {
+            EngineVerdict::Holds => {
+                return finish(
+                    case,
+                    op,
+                    stage,
+                    Verdict::Holds,
+                    None,
+                    None,
+                    outcome.stats,
+                    attempts,
+                    start,
+                )
+            }
+            EngineVerdict::Counterexample(assignment) => {
+                let cex = decode_cex(harness, assignment);
+                return finish(
+                    case,
+                    op,
+                    stage,
+                    Verdict::Fails,
+                    Some(cex),
+                    None,
+                    outcome.stats,
+                    attempts,
+                    start,
+                );
+            }
+            EngineVerdict::BudgetExceeded => continue,
+            EngineVerdict::Error(message) => {
+                last_error = Some(message);
+                continue;
             }
         }
-        Engine::Bdd => {
-            let order = paper_order(harness, case_delta(case));
-            let out = check_miter_bdd_parts(
-                &harness.netlist,
-                harness.miter,
-                constraint_parts,
-                &BddEngineOptions {
-                    minimize: options.minimize,
-                    order,
-                    gc_threshold: options.gc_threshold,
-                    node_limit: None,
-                },
-            );
-            CaseResult {
-                case,
-                op,
-                engine,
-                holds: out.holds,
-                counterexample: out
-                    .counterexample
-                    .map(|c| decode_cex(harness, c)),
-                bdd_peak_nodes: Some(out.peak_nodes),
-                sat_conflicts: None,
-                duration: start.elapsed(),
-            }
-        }
+    }
+
+    // The whole ladder ran out without a definite verdict.
+    let last = attempts.last().expect("at least one attempt");
+    let verdict = if last.verdict == Verdict::Error {
+        Verdict::Error
+    } else {
+        Verdict::BudgetExceeded
+    };
+    CaseResult {
+        case,
+        op,
+        engine: last.engine,
+        verdict,
+        counterexample: None,
+        error: last_error,
+        stats: last.stats.clone(),
+        attempts,
+        duration: start.elapsed(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    case: CaseId,
+    op: FpuOp,
+    stage: &EngineStage,
+    verdict: Verdict,
+    counterexample: Option<CounterExample>,
+    error: Option<String>,
+    stats: EngineStats,
+    attempts: Vec<CaseAttempt>,
+    start: Instant,
+) -> CaseResult {
+    CaseResult {
+        case,
+        op,
+        engine: stage.engine.kind(),
+        verdict,
+        counterexample,
+        error,
+        stats,
+        attempts,
+        duration: start.elapsed(),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("engine panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("engine panicked: {s}")
+    } else {
+        "engine panicked".to_string()
     }
 }
 
 /// Decodes a raw name→bit counterexample into operand words, and replays it
-/// against the netlist to confirm the miter really fires.
+/// against the netlist to confirm the miter really fires. The replay result
+/// is surfaced as [`CounterExample::replay_confirmed`] — an unconfirmed
+/// counterexample indicates an engine bug, not a design bug.
 fn decode_cex(harness: &Harness, assignment: HashMap<String, bool>) -> CounterExample {
     let get_word = |prefix: &str, width: usize| -> u128 {
         (0..width)
@@ -280,27 +645,16 @@ fn decode_cex(harness: &Harness, assignment: HashMap<String, bool>) -> CounterEx
             .sum()
     };
     let w = harness.cfg.format.width() as usize;
-    let cex = CounterExample {
+    let replay_confirmed = replay(&harness.netlist, harness.miter, &assignment);
+    CounterExample {
         a: get_word("a", w),
         b: get_word("b", w),
         c: get_word("c", w),
         op: get_word("op", 3) as u32,
         rm: get_word("rm", 2) as u32,
         assignment,
-    };
-    // Replay: a counterexample that does not reproduce is an engine bug.
-    let mut sim = BitSim::new(&harness.netlist);
-    for (name, value) in &cex.assignment {
-        if let Some(sig) = harness.netlist.find_input(name) {
-            sim.set(sig, *value);
-        }
+        replay_confirmed,
     }
-    sim.eval();
-    debug_assert!(
-        sim.get(harness.miter),
-        "counterexample failed to replay on the miter"
-    );
-    cex
 }
 
 impl CounterExample {

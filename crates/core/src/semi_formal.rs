@@ -16,6 +16,8 @@ use std::time::{Duration, Instant};
 use fmaverify_netlist::{BitSim, Netlist, Node, SatEncoder, Signal};
 use fmaverify_sat::{Lit, SolveResult, Solver};
 
+use crate::engine::EngineStats;
+
 /// Result of a semi-formal run.
 #[derive(Clone, Debug)]
 pub struct SemiFormalOutcome {
@@ -26,6 +28,9 @@ pub struct SemiFormalOutcome {
     /// True when the constraint space was exhausted before `count` samples
     /// (every satisfying assignment was enumerated and simulated).
     pub exhausted: bool,
+    /// Unified resource statistics (total solver conflicts across all
+    /// stimulus queries, wall time) in the case-engine shape.
+    pub stats: EngineStats,
     /// Wall-clock duration.
     pub duration: Duration,
 }
@@ -86,10 +91,7 @@ pub fn semi_formal_check(
             let v = solver.model_lit_value(*lit).is_true();
             vector.insert(name.clone(), v);
             blocking.push(if v { !*lit } else { *lit });
-            sim.set(
-                netlist.find_input(name).expect("input exists"),
-                v,
-            );
+            sim.set(netlist.find_input(name).expect("input exists"), v);
         }
         sim.eval();
         vectors += 1;
@@ -107,6 +109,11 @@ pub fn semi_formal_check(
         vectors,
         failure,
         exhausted,
+        stats: EngineStats {
+            sat_conflicts: Some(solver.stats().conflicts),
+            wall: start.elapsed(),
+            ..EngineStats::default()
+        },
         duration: start.elapsed(),
     }
 }
@@ -133,7 +140,11 @@ mod tests {
         let parts = h.case_constraint_parts(FpuOp::Fma, CaseId::OverlapNoCancel { delta: 2 });
         let out = semi_formal_check(&h.netlist, h.miter, &parts, 200, 7);
         assert!(out.failure.is_none());
-        assert!(out.vectors > 50, "expected many distinct samples, got {}", out.vectors);
+        assert!(
+            out.vectors > 50,
+            "expected many distinct samples, got {}",
+            out.vectors
+        );
     }
 
     #[test]
@@ -178,12 +189,8 @@ mod tests {
         }
         // Find a fault observable under this very constraint by trying
         // candidates until the semi-formal search trips one.
-        let impl_cone = h
-            .netlist
-            .comb_cone(&h.impl_fpu.outputs.result.bits().to_vec());
-        let ref_cone = h
-            .netlist
-            .comb_cone(&h.ref_fpu.outputs.result.bits().to_vec());
+        let impl_cone = h.netlist.comb_cone(h.impl_fpu.outputs.result.bits());
+        let ref_cone = h.netlist.comb_cone(h.ref_fpu.outputs.result.bits());
         let candidates: Vec<_> = h
             .netlist
             .node_ids()
@@ -213,6 +220,9 @@ mod tests {
                 break;
             }
         }
-        assert!(found, "no candidate fault was exposed by semi-formal search");
+        assert!(
+            found,
+            "no candidate fault was exposed by semi-formal search"
+        );
     }
 }

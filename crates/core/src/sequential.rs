@@ -114,7 +114,11 @@ mod tests {
         let cases = enumerate_cases(&cfg, FpuOp::Fma);
         let (u, constraints) = unroll_harness(&mut harness, FpuOp::Fma, &cases);
         assert_eq!(u.latency, 3);
-        assert_eq!(u.netlist.num_latches(), 0, "the unrolled model is combinational");
+        assert_eq!(
+            u.netlist.num_latches(),
+            0,
+            "the unrolled model is combinational"
+        );
         for (case, parts) in &constraints {
             let holds = match case {
                 CaseId::FarOut | CaseId::Monolithic => {
@@ -122,13 +126,8 @@ mod tests {
                         .holds
                 }
                 _ => {
-                    check_miter_bdd_parts(
-                        &u.netlist,
-                        u.miter,
-                        parts,
-                        &BddEngineOptions::default(),
-                    )
-                    .holds
+                    check_miter_bdd_parts(&u.netlist, u.miter, parts, &BddEngineOptions::default())
+                        .holds
                 }
             };
             assert!(holds, "pipelined case {case:?} failed");

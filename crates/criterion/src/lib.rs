@@ -1,0 +1,217 @@
+//! A std-only, dependency-free drop-in for the subset of the `criterion`
+//! crate API used by this workspace's `harness = false` benchmarks.
+//!
+//! The workspace builds in offline environments where crates.io is not
+//! reachable, so the real `criterion` cannot be fetched. This shim keeps
+//! the benchmark sources compiling and produces simple wall-clock medians:
+//! each benchmark is warmed up once, then timed for up to `sample_size`
+//! iterations or `measurement_time`, whichever is hit first. Statistical
+//! rigor (outlier analysis, regression detection) is out of scope.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark driver (shim of `criterion::Criterion`).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (only a substring filter, like the
+    /// libtest harness).
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.filter = args.into_iter().find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        self.run_one(name, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement_time,
+            target_samples: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = *samples.last().expect("non-empty");
+        println!(
+            "{name:<44} time: [{} {} {}] ({} samples)",
+            fmt_dur(lo),
+            fmt_dur(median),
+            fmt_dur(hi),
+            samples.len()
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.run_one(&full, f);
+    }
+
+    /// Closes the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Times closures (shim of `criterion::Bencher`).
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording one sample per call, until the sample
+    /// target or the time budget is reached.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // One warm-up call, untimed.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.3}us", s * 1e6)
+    }
+}
+
+/// Declares a group of benchmark functions (shim of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point (shim of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(200));
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // Warm-up + up to 5 samples.
+        assert!((2..=6).contains(&runs), "runs = {runs}");
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(50));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -70,7 +70,9 @@ pub fn csa_tree(n: &mut Netlist, rows: Vec<Word>) -> (Word, Word) {
         queue.push_back(s);
         queue.push_back(cy);
     }
-    let s = queue.pop_front().unwrap_or_else(|| Word::from_bits(vec![Signal::FALSE; w]));
+    let s = queue
+        .pop_front()
+        .unwrap_or_else(|| Word::from_bits(vec![Signal::FALSE; w]));
     let t = queue
         .pop_front()
         .unwrap_or_else(|| Word::from_bits(vec![Signal::FALSE; w]));
@@ -177,7 +179,11 @@ mod tests {
             sim.eval();
             let vs = sim.get_word(&s);
             let vt = sim.get_word(&t);
-            let mask = if ow >= 128 { u128::MAX } else { (1u128 << ow) - 1 };
+            let mask = if ow >= 128 {
+                u128::MAX
+            } else {
+                (1u128 << ow) - 1
+            };
             assert_eq!(
                 vs.wrapping_add(vt) & mask,
                 vx * vy,
@@ -230,10 +236,7 @@ mod tests {
                 sim.set_word(&x, vx);
                 sim.set_word(&y, vy);
                 sim.eval();
-                assert_eq!(
-                    (sim.get_word(&s) + sim.get_word(&t)) & 0x1fff,
-                    vx * vy
-                );
+                assert_eq!((sim.get_word(&s) + sim.get_word(&t)) & 0x1fff, vx * vy);
             }
         }
     }
@@ -241,9 +244,7 @@ mod tests {
     #[test]
     fn csa_tree_modular_sum() {
         let mut n = Netlist::new();
-        let words: Vec<Word> = (0..7)
-            .map(|i| n.word_input(&format!("w{i}"), 10))
-            .collect();
+        let words: Vec<Word> = (0..7).map(|i| n.word_input(&format!("w{i}"), 10)).collect();
         let (s, t) = csa_tree(&mut n, words.clone());
         let mut sim = BitSim::new(&n);
         let mut rng = StdRng::seed_from_u64(3);
@@ -254,10 +255,7 @@ mod tests {
             }
             sim.eval();
             let total: u128 = vals.iter().sum::<u128>() & 1023;
-            assert_eq!(
-                (sim.get_word(&s) + sim.get_word(&t)) & 1023,
-                total
-            );
+            assert_eq!((sim.get_word(&s) + sim.get_word(&t)) & 1023, total);
         }
     }
 

@@ -2,9 +2,7 @@
 //! behaviour, and derived datapath widths.
 
 use fmaverify_netlist::{Netlist, Word};
-use fmaverify_softfloat::{
-    add_with, fma_with, mul_with, negate, FpFormat, FpResult, RoundingMode,
-};
+use fmaverify_softfloat::{add_with, fma_with, mul_with, negate, FpFormat, FpResult, RoundingMode};
 
 /// The instructions the FPU executes: the FMA instruction and its
 /// derivatives as defined in the PowerPC architecture (`fmadd`, `fmsub`,
@@ -148,8 +146,7 @@ impl FpuConfig {
     /// amounts, which can reach `window_bits` for lopsided formats).
     pub fn exp_arith_bits(&self) -> usize {
         let from_exp = self.format.exp_bits() as usize + 3;
-        let from_window =
-            (u32::BITS - (self.window_bits() as u32).leading_zeros()) as usize + 2;
+        let from_window = (u32::BITS - (self.window_bits() as u32).leading_zeros()) as usize + 2;
         from_exp.max(from_window)
     }
 

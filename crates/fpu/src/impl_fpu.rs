@@ -124,9 +124,8 @@ pub fn build_impl_fpu(
     let wwin = cfg.window_bits();
 
     // ---------------- operand field extraction (one-hot style) -----------
-    let fields = |w: &Word| -> (Word, Word, Signal) {
-        (w.slice(0, f), w.slice(f, f + eb), w.bit(f + eb))
-    };
+    let fields =
+        |w: &Word| -> (Word, Word, Signal) { (w.slice(0, f), w.slice(f, f + eb), w.bit(f + eb)) };
     let op_oh = n.decode_one_hot(&inputs.op); // [fma, fms, add, mul, fnma, fnms, -, -]
     let is_fms = n.or(op_oh.bit(1), op_oh.bit(5));
     let is_add = op_oh.bit(2);
@@ -168,8 +167,7 @@ pub fn build_impl_fpu(
             DenormalMode::FlushToZero => implicit,
             DenormalMode::FullIeee => Signal::TRUE,
         };
-        let mut sig_bits: Vec<Signal> =
-            frac.bits().iter().map(|&b| n.and(b, keep)).collect();
+        let mut sig_bits: Vec<Signal> = frac.bits().iter().map(|&b| n.and(b, keep)).collect();
         sig_bits.push(implicit);
         // Effective biased exponent: OR the denormal/zero case up to 1.
         let low_or = n.or(exp.bit(0), !any_exp);
@@ -203,9 +201,9 @@ pub fn build_impl_fpu(
     let ea_eb = n.add(&ea, &ebw);
     let ea_eb_k = n.add(&ea_eb, &k_word);
     let r_align = n.sub(&ea_eb_k, &ecw); // = delta + f + 3
-    // eint (biased, window-top weight) for the product-anchored window:
-    //   ep_biased + f + 3 = r_align + ec - bias + bias = r_align + ec ... one
-    //   more constant fold: eint_prod = ea + eb + (f + 3 - bias) - 0.
+                                         // eint (biased, window-top weight) for the product-anchored window:
+                                         //   ep_biased + f + 3 = r_align + ec - bias + bias = r_align + ec ... one
+                                         //   more constant fold: eint_prod = ea + eb + (f + 3 - bias) - 0.
     let eint_prod = ea_eb_k.clone();
 
     // Far-out-left detection: r_align < 0 means delta < -(f+3).
@@ -279,7 +277,12 @@ pub fn build_impl_fpu(
     };
     let mut s_vec = s_vec;
     let mut t_vec = t_vec;
-    stage(n, pipeline, mult_clock_enable, &mut [&mut s_vec, &mut t_vec]);
+    stage(
+        n,
+        pipeline,
+        mult_clock_enable,
+        &mut [&mut s_vec, &mut t_vec],
+    );
     let mut ac_win = ac_win;
     let mut eint_prod_p = eint_prod.clone();
     let mut ecw_p = ecw.clone();
@@ -288,14 +291,7 @@ pub fn build_impl_fpu(
     // stage 0 (the stage-1 names are shadowed below).
     let sp_issue = sp;
     let sc_issue = sc;
-    let mut ctrl1 = Word::from_bits(vec![
-        far_left,
-        eff_sub,
-        sp,
-        sc,
-        prod_nonzero,
-        c_zero,
-    ]);
+    let mut ctrl1 = Word::from_bits(vec![far_left, eff_sub, sp, sc, prod_nonzero, c_zero]);
     stage(
         n,
         pipeline,
@@ -522,7 +518,7 @@ pub fn build_impl_fpu(
     let exact_zero = n.and(mag_zero, !sticky_pre);
     let tiny = n.and(!norm.msb(), !mag_zero);
 
-    let emax_c = n.word_const(wexp, ((1u128 << eb) - 2) as u128);
+    let emax_c = n.word_const(wexp, (1u128 << eb) - 2);
     let overflow = {
         let gt = n.slt(&emax_c, &e_fin);
         n.and(gt, sig_fin.bit(f))
@@ -632,8 +628,18 @@ pub fn build_impl_fpu(
     // The special path is resolved at issue; delay it to match the datapath.
     let mut special_word = special_word;
     let mut spec_ctl = Word::from_bits(vec![special, invalid, nan_out, neg_result]);
-    stage(n, pipeline, Signal::TRUE, &mut [&mut special_word, &mut spec_ctl]);
-    stage(n, pipeline, Signal::TRUE, &mut [&mut special_word, &mut spec_ctl]);
+    stage(
+        n,
+        pipeline,
+        Signal::TRUE,
+        &mut [&mut special_word, &mut spec_ctl],
+    );
+    stage(
+        n,
+        pipeline,
+        Signal::TRUE,
+        &mut [&mut special_word, &mut spec_ctl],
+    );
     let special = spec_ctl.bit(0);
     let invalid = spec_ctl.bit(1);
     let spec_nan = spec_ctl.bit(2);

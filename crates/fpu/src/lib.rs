@@ -14,8 +14,8 @@ pub mod ref_fpu;
 pub mod tcgen;
 
 pub use booth::{array_multiply, booth_multiply, compress_3_2, csa_tree};
-pub use lza::lzc_tree;
 pub use config::{DenormalMode, FpuConfig, FpuInputs, FpuOp, FpuOutputs};
 pub use impl_fpu::{build_impl_fpu, ImplFpu, MultiplierMode, PipelineMode};
+pub use lza::lzc_tree;
 pub use ref_fpu::{build_ref_fpu, ProductSource, RefFpu};
 pub use tcgen::{classify, Target, TestCase, TestCaseGenerator};

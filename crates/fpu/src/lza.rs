@@ -27,7 +27,7 @@ fn lzc_block(n: &mut Netlist, bits: &[Signal]) -> (Signal, Vec<Signal>) {
             // Split so that the high half is the largest power of two not
             // exceeding the width; the recursion then lines up with binary
             // count digits.
-            let half = (bits.len() + 1) / 2;
+            let half = bits.len().div_ceil(2);
             let lo = &bits[..bits.len() - half];
             let hi = &bits[bits.len() - half..];
             let (hi_zero, hi_count) = lzc_block(n, hi);
@@ -105,7 +105,11 @@ mod tests {
     fn random_wide() {
         let mut rng = StdRng::seed_from_u64(123);
         for w in [40usize, 61, 100] {
-            let mask = if w >= 128 { u128::MAX } else { (1u128 << w) - 1 };
+            let mask = if w >= 128 {
+                u128::MAX
+            } else {
+                (1u128 << w) - 1
+            };
             let vals: Vec<u128> = (0..500)
                 .map(|i| {
                     if i % 3 == 0 {

@@ -272,8 +272,8 @@ pub fn build_ref_fpu(
     let dmax_w = n.word_const(wexp, dmax as u128);
     let far_left_delta = n.slt(&delta, &dmin_w); // delta < -(f+3)
     let far_right_delta = n.slt(&dmax_w, &delta); // delta > 2f+1
-    // A zero addend must never take the far-left path (the product is the
-    // result there); route it far-right where the addend is just sticky.
+                                                  // A zero addend must never take the far-left path (the product is the
+                                                  // result there); route it far-right where the addend is just sticky.
     let addend_zero = dc.is_zero;
     let case_far_left = n.and(far_left_delta, !addend_zero);
     let case_far_right = n.or(far_right_delta, addend_zero);
@@ -424,10 +424,7 @@ pub fn build_ref_fpu(
     let limit_neg = limit_raw.msb();
     let zero_w = n.word_const(wexp, 0);
     let limit = n.mux_word(limit_neg, &zero_w, &limit_raw);
-    let limited = {
-        let lt = n.slt(&limit, &nlz_w);
-        lt
-    };
+    let limited = n.slt(&limit, &nlz_w);
     let sha = n.mux_word(limited, &limit, &nlz_w);
     for (i, &bit) in sha.bits().iter().enumerate() {
         n.probe(format!("ref.sha[{i}]"), bit);
@@ -518,7 +515,7 @@ pub fn build_ref_fpu(
 
     // Overflow: biased result exponent beyond emax (biased emax is
     // 2^eb - 2).
-    let emax_b = n.word_const(wexp, ((1u128 << eb) - 2) as u128);
+    let emax_b = n.word_const(wexp, (1u128 << eb) - 2);
     let overflow = {
         let gt = n.slt(&emax_b, &e_res_final);
         // Only meaningful when the result is normal (MSB set).

@@ -37,12 +37,27 @@ fn build(format: FpFormat, denormals: DenormalMode) -> Harness {
     }
 }
 
-fn oracle(cfg: &FpuConfig, op: FpuOp, a: u128, b: u128, c: u128, rm: RoundingMode) -> (u128, Flags) {
+fn oracle(
+    cfg: &FpuConfig,
+    op: FpuOp,
+    a: u128,
+    b: u128,
+    c: u128,
+    rm: RoundingMode,
+) -> (u128, Flags) {
     let r = op.apply(cfg, a, b, c, rm);
     (r.bits, r.flags)
 }
 
-fn check_one(h: &Harness, sim: &mut BitSim, op: FpuOp, a: u128, b: u128, c: u128, rm: RoundingMode) {
+fn check_one(
+    h: &Harness,
+    sim: &mut BitSim,
+    op: FpuOp,
+    a: u128,
+    b: u128,
+    c: u128,
+    rm: RoundingMode,
+) {
     sim.set_word(&h.inputs.a, a);
     sim.set_word(&h.inputs.b, b);
     sim.set_word(&h.inputs.c, c);
@@ -127,8 +142,8 @@ fn random_micro_and_half() {
                 let ea = rng.gen_range(1..=emax);
                 let eb = rng.gen_range(1..=emax);
                 let spread: i64 = rng.gen_range(-4..4);
-                let ec = (ea as i64 + eb as i64 - fmt.bias() as i64 + spread)
-                    .clamp(1, emax as i64) as u32;
+                let ec = (ea as i64 + eb as i64 - fmt.bias() as i64 + spread).clamp(1, emax as i64)
+                    as u32;
                 let a = fmt.pack(rng.gen(), ea, rng.gen::<u128>() & fmt.frac_mask());
                 let b = fmt.pack(rng.gen(), eb, rng.gen::<u128>() & fmt.frac_mask());
                 let c = fmt.pack(rng.gen(), ec, rng.gen::<u128>() & fmt.frac_mask());
@@ -219,7 +234,10 @@ fn pipeline_matches_combinational() {
         PipelineMode::ThreeStage,
     );
     netlist.assert_closed();
-    assert!(netlist.num_latches() > 0, "pipeline mode must create registers");
+    assert!(
+        netlist.num_latches() > 0,
+        "pipeline mode must create registers"
+    );
     let mut sim = BitSim::new(&netlist);
     let mut rng = StdRng::seed_from_u64(21);
     for _ in 0..800 {
@@ -250,7 +268,11 @@ fn lopsided_formats() {
     // Formats whose normalization-shift range exceeds the exponent range
     // stress the width of the exponent-arithmetic words.
     let mut rng = StdRng::seed_from_u64(0x1095);
-    for fmt in [FpFormat::new(3, 8), FpFormat::new(2, 10), FpFormat::new(7, 2)] {
+    for fmt in [
+        FpFormat::new(3, 8),
+        FpFormat::new(2, 10),
+        FpFormat::new(7, 2),
+    ] {
         for mode in [DenormalMode::FlushToZero, DenormalMode::FullIeee] {
             let h = build(fmt, mode);
             let mut sim = BitSim::new(&h.netlist);

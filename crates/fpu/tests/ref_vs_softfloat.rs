@@ -28,12 +28,27 @@ fn build(format: FpFormat, denormals: DenormalMode) -> Harness {
     }
 }
 
-fn oracle(cfg: &FpuConfig, op: FpuOp, a: u128, b: u128, c: u128, rm: RoundingMode) -> (u128, Flags) {
+fn oracle(
+    cfg: &FpuConfig,
+    op: FpuOp,
+    a: u128,
+    b: u128,
+    c: u128,
+    rm: RoundingMode,
+) -> (u128, Flags) {
     let r = op.apply(cfg, a, b, c, rm);
     (r.bits, r.flags)
 }
 
-fn check_one(h: &Harness, sim: &mut BitSim, op: FpuOp, a: u128, b: u128, c: u128, rm: RoundingMode) {
+fn check_one(
+    h: &Harness,
+    sim: &mut BitSim,
+    op: FpuOp,
+    a: u128,
+    b: u128,
+    c: u128,
+    rm: RoundingMode,
+) {
     sim.set_word(&h.inputs.a, a);
     sim.set_word(&h.inputs.b, b);
     sim.set_word(&h.inputs.c, c);
@@ -209,21 +224,13 @@ fn fma_delta_boundaries_half() {
                 if eb_field < 1 || eb_field >= (1 << fmt.exp_bits()) - 1 {
                     continue;
                 }
-                let a = fmt.pack(
-                    rng.gen(),
-                    ea as u32,
-                    rng.gen::<u128>() & fmt.frac_mask(),
-                );
+                let a = fmt.pack(rng.gen(), ea as u32, rng.gen::<u128>() & fmt.frac_mask());
                 let b = fmt.pack(
                     rng.gen(),
                     eb_field as u32,
                     rng.gen::<u128>() & fmt.frac_mask(),
                 );
-                let c = fmt.pack(
-                    rng.gen(),
-                    ec as u32,
-                    rng.gen::<u128>() & fmt.frac_mask(),
-                );
+                let c = fmt.pack(rng.gen(), ec as u32, rng.gen::<u128>() & fmt.frac_mask());
                 let rm = RoundingMode::ALL[rng.gen_range(0..4)];
                 check_one(&h, &mut sim, FpuOp::Fma, a, b, c, rm);
             }

@@ -427,12 +427,7 @@ impl Netlist {
         }
         self.outputs
             .iter()
-            .map(|(name, s)| {
-                (
-                    name.clone(),
-                    values[s.node().index()] ^ s.is_inverted(),
-                )
-            })
+            .map(|(name, s)| (name.clone(), values[s.node().index()] ^ s.is_inverted()))
             .collect()
     }
 

@@ -156,9 +156,7 @@ pub fn parse_aiger<R: BufRead>(reader: &mut R) -> Result<Netlist, ParseAigerErro
     };
 
     // First pass: read the raw records.
-    fn take_line<'a>(
-        it: &mut std::slice::Iter<'a, String>,
-    ) -> Result<&'a str, ParseAigerError> {
+    fn take_line<'a>(it: &mut std::slice::Iter<'a, String>) -> Result<&'a str, ParseAigerError> {
         it.next()
             .map(String::as_str)
             .ok_or_else(|| err("unexpected end of file"))
@@ -319,8 +317,14 @@ mod tests {
                 let eval = |net: &Netlist| -> (u128, bool) {
                     let mut sim = BitSim::new(net);
                     for i in 0..6 {
-                        sim.set(net.find_input(&format!("a[{i}]")).expect("a"), va >> i & 1 == 1);
-                        sim.set(net.find_input(&format!("b[{i}]")).expect("b"), vb >> i & 1 == 1);
+                        sim.set(
+                            net.find_input(&format!("a[{i}]")).expect("a"),
+                            va >> i & 1 == 1,
+                        );
+                        sim.set(
+                            net.find_input(&format!("b[{i}]")).expect("b"),
+                            vb >> i & 1 == 1,
+                        );
                     }
                     sim.eval();
                     let s: u128 = (0..6)

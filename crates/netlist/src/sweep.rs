@@ -77,8 +77,8 @@ fn netlist_sweep_impl(netlist: &Netlist, roots: &[Signal], opts: SweepOptions) -
     let mut signatures: Vec<Vec<u64>> = vec![Vec::new(); n_nodes];
     let mut sim_values: Vec<u64> = vec![0; n_nodes];
     let run_round = |values: &mut Vec<u64>,
-                         signatures: &mut Vec<Vec<u64>>,
-                         fill: &mut dyn FnMut(usize) -> u64| {
+                     signatures: &mut Vec<Vec<u64>>,
+                     fill: &mut dyn FnMut(usize) -> u64| {
         for id in netlist.node_ids() {
             let i = id.index();
             match netlist.node(id) {
@@ -226,7 +226,10 @@ fn netlist_sweep_impl(netlist: &Netlist, roots: &[Signal], opts: SweepOptions) -
     }
     // Reconnect latches.
     for &l in netlist.latches() {
-        if let Node::Latch { next, connected, .. } = netlist.node(l) {
+        if let Node::Latch {
+            next, connected, ..
+        } = netlist.node(l)
+        {
             if *connected {
                 let new_next = apply(&remap, *next);
                 out.set_latch_next(remap[l.index()], new_next);
@@ -259,7 +262,7 @@ fn netlist_sweep_impl(netlist: &Netlist, roots: &[Signal], opts: SweepOptions) -
 /// input/latch values in lane 0, random values fill the other 63 lanes.
 fn refine(
     netlist: &Netlist,
-    signatures: &mut Vec<Vec<u64>>,
+    signatures: &mut [Vec<u64>],
     values: &mut [u64],
     solver: &Solver,
     encoder: &SatEncoder,
@@ -393,8 +396,14 @@ mod tests {
             let _ = new_a;
             let mut sim_new = BitSim::new(&result.netlist);
             for i in 0..6 {
-                let ia = result.netlist.find_input(&format!("a[{i}]")).expect("a bit");
-                let ib = result.netlist.find_input(&format!("b[{i}]")).expect("b bit");
+                let ia = result
+                    .netlist
+                    .find_input(&format!("a[{i}]"))
+                    .expect("a bit");
+                let ib = result
+                    .netlist
+                    .find_input(&format!("b[{i}]"))
+                    .expect("b bit");
                 sim_new.set(ia, va >> i & 1 == 1);
                 sim_new.set(ib, vb >> i & 1 == 1);
             }

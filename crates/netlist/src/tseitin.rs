@@ -112,13 +112,9 @@ impl SatEncoder {
     /// Returns the SAT literal previously assigned to `sig`, if its node has
     /// been encoded.
     pub fn existing_lit(&self, sig: Signal) -> Option<Lit> {
-        self.map.get(&(sig.node().index() as u32)).map(|&l| {
-            if sig.is_inverted() {
-                !l
-            } else {
-                l
-            }
-        })
+        self.map
+            .get(&(sig.node().index() as u32))
+            .map(|&l| if sig.is_inverted() { !l } else { l })
     }
 }
 

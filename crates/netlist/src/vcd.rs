@@ -293,11 +293,7 @@ mod tests {
         let g = n.and(a, b);
         n.output("g", g);
         n.probe("inner", g);
-        let text = dump_counterexample(
-            &n,
-            &[("a".to_string(), true), ("b".to_string(), true)],
-            1,
-        );
+        let text = dump_counterexample(&n, &[("a".to_string(), true), ("b".to_string(), true)], 1);
         assert!(text.contains("$var wire 1 ! g"));
         assert!(text.contains("inner"));
         assert!(text.contains("1!"));

@@ -184,7 +184,10 @@ mod tests {
         assert!(text.ends_with("endmodule\n"));
         assert!(!text.contains("clk"), "combinational module has no clock");
         // Every assign's operands are declared.
-        for line in text.lines().filter(|l| l.trim_start().starts_with("assign")) {
+        for line in text
+            .lines()
+            .filter(|l| l.trim_start().starts_with("assign"))
+        {
             assert!(line.contains('='));
         }
     }

@@ -84,7 +84,9 @@ impl Netlist {
     /// Creates a `width`-bit input word; bits are named `name[i]`.
     pub fn word_input(&mut self, name: &str, width: usize) -> Word {
         Word {
-            bits: (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect(),
+            bits: (0..width)
+                .map(|i| self.input(format!("{name}[{i}]")))
+                .collect(),
         }
     }
 
@@ -453,7 +455,14 @@ mod tests {
         output_word(&mut n, "sum", &sum);
         output_word(&mut n, "diff", &diff);
         n.output("nb", no_borrow);
-        for (va, vb) in [(0u128, 0u128), (1, 1), (200, 100), (100, 200), (255, 255), (37, 199)] {
+        for (va, vb) in [
+            (0u128, 0u128),
+            (1, 1),
+            (200, 100),
+            (100, 200),
+            (255, 255),
+            (37, 199),
+        ] {
             let outs = eval(&n, &[("a", va, 8), ("b", vb, 8)]);
             assert_eq!(out_word(&outs, "sum", 8), (va + vb) & 0xff);
             assert_eq!(out_word(&outs, "diff", 8), va.wrapping_sub(vb) & 0xff);
@@ -488,12 +497,26 @@ mod tests {
         output_word(&mut n, "right", &right);
         output_word(&mut n, "lc", &lc);
         output_word(&mut n, "rc", &rc);
-        for (va, vsh) in [(0xabcdu128, 0u128), (0xabcd, 4), (0xffff, 15), (0x8001, 16), (1, 31)] {
+        for (va, vsh) in [
+            (0xabcdu128, 0u128),
+            (0xabcd, 4),
+            (0xffff, 15),
+            (0x8001, 16),
+            (1, 31),
+        ] {
             let outs = eval(&n, &[("a", va, 16), ("sh", vsh, 5)]);
             let shifted_l = if vsh >= 16 { 0 } else { (va << vsh) & 0xffff };
             let shifted_r = if vsh >= 16 { 0 } else { va >> vsh };
-            assert_eq!(out_word(&outs, "left", 16), shifted_l, "shl {va:x} by {vsh}");
-            assert_eq!(out_word(&outs, "right", 16), shifted_r, "lshr {va:x} by {vsh}");
+            assert_eq!(
+                out_word(&outs, "left", 16),
+                shifted_l,
+                "shl {va:x} by {vsh}"
+            );
+            assert_eq!(
+                out_word(&outs, "right", 16),
+                shifted_r,
+                "lshr {va:x} by {vsh}"
+            );
             assert_eq!(out_word(&outs, "lc", 16), (va << 3) & 0xffff);
             assert_eq!(out_word(&outs, "rc", 16), va >> 3);
         }
@@ -518,8 +541,16 @@ mod tests {
                 assert_eq!(outs["eq"], va == vb);
                 assert_eq!(outs["lt"], va < vb);
                 assert_eq!(outs["le"], va <= vb);
-                let sa = if va >= 32 { va as i128 - 64 } else { va as i128 };
-                let sb = if vb >= 32 { vb as i128 - 64 } else { vb as i128 };
+                let sa = if va >= 32 {
+                    va as i128 - 64
+                } else {
+                    va as i128
+                };
+                let sb = if vb >= 32 {
+                    vb as i128 - 64
+                } else {
+                    vb as i128
+                };
                 assert_eq!(outs["slt"], sa < sb, "slt {sa} {sb}");
             }
         }

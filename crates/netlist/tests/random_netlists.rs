@@ -22,15 +22,20 @@ struct GateRecipe {
 
 fn arb_netlist(num_inputs: usize, num_gates: usize) -> impl Strategy<Value = Vec<GateRecipe>> {
     prop::collection::vec(
-        (0u8..4, 0usize..64, 0usize..64, prop::bool::ANY, prop::bool::ANY).prop_map(
-            |(kind, a, b, inv_a, inv_b)| GateRecipe {
+        (
+            0u8..4,
+            0usize..64,
+            0usize..64,
+            prop::bool::ANY,
+            prop::bool::ANY,
+        )
+            .prop_map(|(kind, a, b, inv_a, inv_b)| GateRecipe {
                 kind,
                 a,
                 b,
                 inv_a,
                 inv_b,
-            },
-        ),
+            }),
         num_gates,
     )
     .prop_map(move |v| {
@@ -42,9 +47,7 @@ fn arb_netlist(num_inputs: usize, num_gates: usize) -> impl Strategy<Value = Vec
 /// Builds the recipe into a netlist, returning the output signals.
 fn build(recipes: &[GateRecipe], num_inputs: usize) -> (Netlist, Vec<Signal>) {
     let mut n = Netlist::new();
-    let mut pool: Vec<Signal> = (0..num_inputs)
-        .map(|i| n.input(format!("x{i}")))
-        .collect();
+    let mut pool: Vec<Signal> = (0..num_inputs).map(|i| n.input(format!("x{i}"))).collect();
     for r in recipes {
         let a = {
             let s = pool[r.a % pool.len()];

@@ -1,0 +1,277 @@
+//! A std-only, dependency-free drop-in for the subset of the `rand` crate
+//! API used by this workspace: `StdRng::seed_from_u64`, `Rng::gen`, and
+//! `Rng::gen_range` over integer ranges.
+//!
+//! The workspace builds in offline environments where crates.io is not
+//! reachable, so the real `rand` cannot be fetched; this shim keeps every
+//! call site source-compatible. The generator is xoshiro256** seeded via
+//! SplitMix64 — deterministic for a given seed, which is all the tests and
+//! test-case generators here rely on.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly by [`Rng::gen`] (the role of
+/// `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+/// A range that [`Rng::gen_range`] can sample from uniformly (the role of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Integer types [`Rng::gen_range`] can produce (the role of
+/// `rand::distributions::uniform::SampleUniform`).
+///
+/// Implemented via offsets in `u128` space so the same code path serves
+/// every width, signed or unsigned.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Maps the value into `u128` offset space (order-preserving).
+    fn to_offset_space(self) -> u128;
+    /// Maps back from `u128` offset space.
+    fn from_offset_space(v: u128) -> Self;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods (shim of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a uniform value of any [`Standard`] type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from an integer range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Generator namespace (shim of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** seeded through
+    /// SplitMix64 (the real `StdRng` is also a fixed, seedable algorithm).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Alias for environments that asked for the small generator.
+    pub type SmallRng = StdRng;
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zeros from any seed, but keep the guard explicit.
+            if s == [0, 0, 0, 0] {
+                s[0] = 1;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> f64 {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_lossless)]
+            fn sample<R: RngCore>(rng: &mut R) -> $t {
+                if std::mem::size_of::<$t>() > 8 {
+                    (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// Uniform sampling of `x` in `[0, bound)` without modulo bias
+/// (Lemire-style rejection on 128-bit space to cover u128 bounds).
+fn uniform_below<R: RngCore>(rng: &mut R, bound: u128) -> u128 {
+    debug_assert!(bound > 0);
+    // Rejection sampling on the top bits: mask to the next power of two.
+    let mask = u128::MAX >> bound.leading_zeros().min(127);
+    loop {
+        let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        let candidate = raw & mask;
+        if candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+// The sign-flip constant maps signed integers into unsigned offset space
+// order-preservingly (i128::MIN -> 0), so one u128 code path serves every
+// integer width.
+macro_rules! impl_sample_uniform {
+    (unsigned: $($u:ty),*; signed: $($i:ty),*) => {
+        $(impl SampleUniform for $u {
+            fn to_offset_space(self) -> u128 { self as u128 }
+            fn from_offset_space(v: u128) -> Self { v as $u }
+        })*
+        $(impl SampleUniform for $i {
+            fn to_offset_space(self) -> u128 {
+                (self as i128 as u128) ^ (1u128 << 127)
+            }
+            fn from_offset_space(v: u128) -> Self {
+                (v ^ (1u128 << 127)) as i128 as $i
+            }
+        })*
+    };
+}
+impl_sample_uniform!(unsigned: u8, u16, u32, u64, u128, usize;
+                     signed: i8, i16, i32, i64, i128, isize);
+
+// Blanket impls over the range's own parameter: this is what lets
+// `rng.gen_range(0..4)` infer its type from the call context (e.g. `usize`
+// when used as a slice index), exactly as with the real `rand` crate.
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let lo = self.start.to_offset_space();
+        let span = self.end.to_offset_space() - lo;
+        T::from_offset_space(lo + uniform_below(rng, span))
+    }
+}
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        let lo = start.to_offset_space();
+        let span = end.to_offset_space() - lo;
+        if span == u128::MAX {
+            let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            return T::from_offset_space(raw);
+        }
+        T::from_offset_space(lo + uniform_below(rng, span + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-4..4);
+            assert!((-4..4).contains(&v));
+            let u: usize = rng.gen_range(0..3);
+            assert!(u < 3);
+            let w: u128 = rng.gen_range(0..=u128::from(u64::MAX));
+            assert!(w <= u128::from(u64::MAX));
+            let x: u32 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..4 should occur");
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&trues), "trues = {trues}");
+    }
+}

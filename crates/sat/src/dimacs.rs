@@ -56,7 +56,11 @@ pub struct ParseDimacsError {
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -94,8 +98,7 @@ pub fn parse_dimacs<R: BufRead>(reader: &mut R) -> Result<Cnf, ParseDimacsError>
     let mut current: Vec<Lit> = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let lineno = lineno + 1;
-        let line =
-            line.map_err(|e| ParseDimacsError::new(lineno, format!("io error: {e}")))?;
+        let line = line.map_err(|e| ParseDimacsError::new(lineno, format!("io error: {e}")))?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('c') {
             continue;
@@ -103,7 +106,10 @@ pub fn parse_dimacs<R: BufRead>(reader: &mut R) -> Result<Cnf, ParseDimacsError>
         if let Some(rest) = line.strip_prefix('p') {
             let parts: Vec<&str> = rest.split_whitespace().collect();
             if parts.len() != 3 || parts[0] != "cnf" {
-                return Err(ParseDimacsError::new(lineno, "expected 'p cnf <vars> <clauses>'"));
+                return Err(ParseDimacsError::new(
+                    lineno,
+                    "expected 'p cnf <vars> <clauses>'",
+                ));
             }
             let nv: usize = parts[1]
                 .parse()
@@ -124,7 +130,10 @@ pub fn parse_dimacs<R: BufRead>(reader: &mut R) -> Result<Cnf, ParseDimacsError>
         }
     }
     if !current.is_empty() {
-        return Err(ParseDimacsError::new(0, "unterminated clause at end of input"));
+        return Err(ParseDimacsError::new(
+            0,
+            "unterminated clause at end of input",
+        ));
     }
     if let Some(nv) = declared_vars {
         if cnf.num_vars > nv {
@@ -181,7 +190,10 @@ mod tests {
     fn parse_clause_spanning_lines() {
         let text = "p cnf 2 1\n1\n2 0\n";
         let cnf = parse_dimacs(&mut text.as_bytes()).expect("valid input");
-        assert_eq!(cnf.clauses, vec![vec![Lit::from_dimacs(1), Lit::from_dimacs(2)]]);
+        assert_eq!(
+            cnf.clauses,
+            vec![vec![Lit::from_dimacs(1), Lit::from_dimacs(2)]]
+        );
     }
 
     #[test]

@@ -269,7 +269,10 @@ impl Solver {
     /// through the public API) or if a literal's variable was not created by
     /// this solver.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at level 0"
+        );
         if !self.ok {
             return false;
         }
@@ -599,10 +602,7 @@ impl Solver {
     }
 
     fn compute_lbd(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits
-            .iter()
-            .map(|l| self.level[l.var().index()])
-            .collect();
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
         levels.sort_unstable();
         levels.dedup();
         levels.len() as u32
@@ -624,9 +624,11 @@ impl Solver {
         refs.sort_by(|&a, &b| {
             let ca = &self.clauses[a.0 as usize];
             let cb = &self.clauses[b.0 as usize];
-            ca.lbd
-                .cmp(&cb.lbd)
-                .then(cb.activity.partial_cmp(&ca.activity).unwrap_or(std::cmp::Ordering::Equal))
+            ca.lbd.cmp(&cb.lbd).then(
+                cb.activity
+                    .partial_cmp(&ca.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let keep_count = refs.len() / 2;
         let mut kept = Vec::with_capacity(keep_count + 8);
@@ -920,6 +922,7 @@ mod tests {
         for pigeon in &p {
             s.add_clause(pigeon);
         }
+        #[allow(clippy::needless_range_loop)]
         for h in 0..3 {
             for i in 0..4 {
                 for j in (i + 1)..4 {
@@ -937,7 +940,10 @@ mod tests {
         s.add_clause(&[v[0], v[1]]);
         assert_eq!(s.solve_with_assumptions(&[!v[0]]), SolveResult::Sat);
         assert!(s.model_lit_value(v[1]).is_true());
-        assert_eq!(s.solve_with_assumptions(&[!v[0], !v[1]]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve_with_assumptions(&[!v[0], !v[1]]),
+            SolveResult::Unsat
+        );
         // Solver remains usable and satisfiable without assumptions.
         assert_eq!(s.solve(), SolveResult::Sat);
     }
@@ -947,10 +953,7 @@ mod tests {
         let mut s = Solver::new();
         let v = vars(&mut s, 3);
         s.add_clause(&[v[0]]);
-        assert_eq!(
-            s.solve_with_assumptions(&[v[2], !v[0]]),
-            SolveResult::Unsat
-        );
+        assert_eq!(s.solve_with_assumptions(&[v[2], !v[0]]), SolveResult::Unsat);
         assert!(s.conflict_assumptions().contains(&!v[0]));
     }
 
@@ -964,6 +967,7 @@ mod tests {
         for pigeon in &p {
             s.add_clause(pigeon);
         }
+        #[allow(clippy::needless_range_loop)]
         for h in 0..6 {
             for i in 0..7 {
                 for j in (i + 1)..7 {

@@ -125,11 +125,12 @@ impl FpFormat {
     /// # Panics
     /// Panics if the fields exceed their widths.
     pub fn pack(self, sign: bool, biased_exp: u32, frac: u128) -> u128 {
-        assert!(biased_exp <= self.exp_max_biased(), "exponent field overflow");
+        assert!(
+            biased_exp <= self.exp_max_biased(),
+            "exponent field overflow"
+        );
         assert!(frac <= self.frac_mask(), "fraction field overflow");
-        (u128::from(sign) << (self.width() - 1))
-            | u128::from(biased_exp) << self.frac_bits
-            | frac
+        (u128::from(sign) << (self.width() - 1)) | u128::from(biased_exp) << self.frac_bits | frac
     }
 
     /// Classifies a datum.

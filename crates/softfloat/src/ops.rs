@@ -94,9 +94,8 @@ fn fma_core(
     // NaN propagation: any NaN in, canonical quiet NaN out; signaling NaNs
     // raise invalid.
     if ca == FpClass::Nan || cb == FpClass::Nan || cc == FpClass::Nan {
-        flags.invalid = fmt.is_signaling_nan(a)
-            || fmt.is_signaling_nan(b)
-            || fmt.is_signaling_nan(c);
+        flags.invalid =
+            fmt.is_signaling_nan(a) || fmt.is_signaling_nan(b) || fmt.is_signaling_nan(c);
         return FpResult {
             bits: fmt.quiet_nan(),
             flags,
@@ -370,8 +369,21 @@ mod tests {
     #[test]
     fn double_add_mul_match_host_rne() {
         let values = [
-            0.0, -0.0, 1.0, -1.0, 0.5, 3.1415926535, -2.75, 1e300, -1e300, 1e-308, 5e-324,
-            -5e-324, f64::MAX, f64::MIN_POSITIVE, 1.0000000000000002,
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            std::f64::consts::PI,
+            -2.75,
+            1e300,
+            -1e300,
+            1e-308,
+            5e-324,
+            -5e-324,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            1.0000000000000002,
         ];
         for &a in &values {
             for &b in &values {
@@ -471,9 +483,21 @@ mod tests {
         // -1 - 2^-60: toward negative moves away from zero.
         let none = D.one(true);
         let nnext = d(-(1.0 + f64::EPSILON));
-        let r = add_with(D, none, negate(D, tiny), RoundingMode::TowardNegative, false);
+        let r = add_with(
+            D,
+            none,
+            negate(D, tiny),
+            RoundingMode::TowardNegative,
+            false,
+        );
         assert_eq!(r.bits, nnext);
-        let r = add_with(D, none, negate(D, tiny), RoundingMode::TowardPositive, false);
+        let r = add_with(
+            D,
+            none,
+            negate(D, tiny),
+            RoundingMode::TowardPositive,
+            false,
+        );
         assert_eq!(r.bits, none);
     }
 
@@ -492,9 +516,21 @@ mod tests {
             assert!(r.flags.overflow && r.flags.inexact);
         }
         // Negative overflow mirrors.
-        let r = mul_with(D, D.max_finite(true), d(2.0), RoundingMode::TowardPositive, false);
+        let r = mul_with(
+            D,
+            D.max_finite(true),
+            d(2.0),
+            RoundingMode::TowardPositive,
+            false,
+        );
         assert_eq!(r.bits, D.max_finite(true));
-        let r = mul_with(D, D.max_finite(true), d(2.0), RoundingMode::TowardNegative, false);
+        let r = mul_with(
+            D,
+            D.max_finite(true),
+            d(2.0),
+            RoundingMode::TowardNegative,
+            false,
+        );
         assert_eq!(r.bits, D.inf(true));
     }
 
@@ -502,15 +538,33 @@ mod tests {
     fn underflow_and_denormals() {
         // min_normal / 2 is denormal: tiny and exact -> no underflow flag.
         let half = d(0.5);
-        let r = mul_with(D, D.min_normal(false), half, RoundingMode::NearestEven, false);
+        let r = mul_with(
+            D,
+            D.min_normal(false),
+            half,
+            RoundingMode::NearestEven,
+            false,
+        );
         assert_eq!(r.bits, d(f64::MIN_POSITIVE / 2.0));
         assert!(!r.flags.underflow && !r.flags.inexact);
         // min_denormal * 0.6 is tiny and inexact -> underflow.
-        let r = mul_with(D, D.min_denormal(false), d(0.6), RoundingMode::NearestEven, false);
+        let r = mul_with(
+            D,
+            D.min_denormal(false),
+            d(0.6),
+            RoundingMode::NearestEven,
+            false,
+        );
         assert!(r.flags.underflow && r.flags.inexact);
         assert_eq!(r.bits, D.min_denormal(false)); // rounds to nearest denormal
-        // Rounds away to zero toward zero.
-        let r = mul_with(D, D.min_denormal(false), d(0.4), RoundingMode::TowardZero, false);
+                                                   // Rounds away to zero toward zero.
+        let r = mul_with(
+            D,
+            D.min_denormal(false),
+            d(0.4),
+            RoundingMode::TowardZero,
+            false,
+        );
         assert_eq!(r.bits, D.zero(false));
         assert!(r.flags.underflow && r.flags.inexact);
     }

@@ -77,13 +77,14 @@ impl U256 {
     /// # Panics
     /// Panics in debug builds on overflow past 256 bits (the FMA datapath
     /// never exceeds ~220 bits).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: U256) -> U256 {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
-            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+        for (limb, (&a, &b)) in out.iter_mut().zip(self.limbs.iter().zip(&rhs.limbs)) {
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *limb = s2;
             carry = u64::from(c1) + u64::from(c2);
         }
         debug_assert_eq!(carry, 0, "U256 addition overflow");
@@ -94,13 +95,14 @@ impl U256 {
     ///
     /// # Panics
     /// Panics in debug builds if `rhs > self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: U256) -> U256 {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
-            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+        for (limb, (&a, &b)) in out.iter_mut().zip(self.limbs.iter().zip(&rhs.limbs)) {
+            let (d1, b1) = a.overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *limb = d2;
             borrow = u64::from(b1) + u64::from(b2);
         }
         debug_assert_eq!(borrow, 0, "U256 subtraction underflow");
@@ -118,6 +120,7 @@ impl U256 {
     }
 
     /// Left shift.
+    #[allow(clippy::should_implement_trait)]
     pub fn shl(self, sh: u32) -> U256 {
         if sh == 0 {
             return self;
@@ -140,6 +143,7 @@ impl U256 {
     }
 
     /// Logical right shift.
+    #[allow(clippy::should_implement_trait)]
     pub fn shr(self, sh: u32) -> U256 {
         if sh == 0 {
             return self;
@@ -150,13 +154,13 @@ impl U256 {
         let limb_shift = (sh / 64) as usize;
         let bit_shift = sh % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 - limb_shift {
+        for (i, limb) in out.iter_mut().enumerate().take(4 - limb_shift) {
             let src = i + limb_shift;
             let mut v = self.limbs[src] >> bit_shift;
             if bit_shift != 0 && src + 1 < 4 {
                 v |= self.limbs[src + 1] << (64 - bit_shift);
             }
-            out[i] = v;
+            *limb = v;
         }
         U256 { limbs: out }
     }
@@ -255,7 +259,7 @@ mod tests {
             );
             let sum = ua.add(ub);
             assert_eq!(sum.low_u128(), a.wrapping_add(b), "sum iter {i}");
-            let sh = (i % 120) as u32;
+            let sh = i % 120;
             assert_eq!(ua.shr(sh).low_u128(), a >> sh);
             if a.leading_zeros() >= sh {
                 assert_eq!(ua.shl(sh).low_u128(), a << sh);

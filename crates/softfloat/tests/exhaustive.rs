@@ -172,8 +172,8 @@ fn naive_fma(
     };
     let (bits, overflow, inexact) = naive_round(fmt, &scaled, exact, rm, zero_sign_neg);
     // Underflow: tiny before rounding and inexact.
-    let tiny = exact != 0
-        && (exact.unsigned_abs() as i128) < (1i128 << (fmt.emin() - 2 * e0) as u32);
+    let tiny =
+        exact != 0 && (exact.unsigned_abs() as i128) < (1i128 << (fmt.emin() - 2 * e0) as u32);
     (bits, inexact || overflow, overflow, tiny && inexact)
 }
 
@@ -202,7 +202,8 @@ fn exhaustive_tiny_format_all_modes() {
                     let (bits, inexact, overflow, underflow) =
                         naive_fma(fmt, &candidates, e0, a, b, c, rm);
                     assert_eq!(
-                        got.bits, bits,
+                        got.bits,
+                        bits,
                         "fma({a:#x},{b:#x},{c:#x}) rm={rm:?}: got {:#x} want {bits:#x} \
                          ({} * {} + {})",
                         got.bits,
@@ -210,10 +211,17 @@ fn exhaustive_tiny_format_all_modes() {
                         fmt.to_f64(b),
                         fmt.to_f64(c)
                     );
-                    assert_eq!(got.flags.inexact, inexact, "inexact for {a:#x},{b:#x},{c:#x} {rm:?}");
-                    assert_eq!(got.flags.overflow, overflow, "overflow for {a:#x},{b:#x},{c:#x} {rm:?}");
                     assert_eq!(
-                        got.flags.underflow, underflow,
+                        got.flags.inexact, inexact,
+                        "inexact for {a:#x},{b:#x},{c:#x} {rm:?}"
+                    );
+                    assert_eq!(
+                        got.flags.overflow, overflow,
+                        "overflow for {a:#x},{b:#x},{c:#x} {rm:?}"
+                    );
+                    assert_eq!(
+                        got.flags.underflow,
+                        underflow,
                         "underflow for {a:#x},{b:#x},{c:#x} {rm:?} (exact result {})",
                         fmt.to_f64(got.bits)
                     );

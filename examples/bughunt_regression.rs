@@ -37,22 +37,8 @@ fn main() {
     }
 
     // Plant a fault: flip a gate in the implementation rounder cone.
-    let impl_cone = base.netlist.comb_cone(
-        &base
-            .impl_fpu
-            .outputs
-            .result
-            .bits()
-            .to_vec(),
-    );
-    let ref_cone = base.netlist.comb_cone(
-        &base
-            .ref_fpu
-            .outputs
-            .result
-            .bits()
-            .to_vec(),
-    );
+    let impl_cone = base.netlist.comb_cone(base.impl_fpu.outputs.result.bits());
+    let ref_cone = base.netlist.comb_cone(base.ref_fpu.outputs.result.bits());
     let candidates: Vec<_> = base
         .netlist
         .node_ids()
@@ -74,7 +60,11 @@ fn main() {
         let mut sim = BitSim::new(&mutated);
         let w = cfg.format.width() as usize;
         let input_word = |n: &fmaverify_netlist::Netlist, p: &str, w: usize| {
-            Word::from_bits((0..w).map(|i| n.find_input(&format!("{p}[{i}]")).expect("in")).collect())
+            Word::from_bits(
+                (0..w)
+                    .map(|i| n.find_input(&format!("{p}[{i}]")).expect("in"))
+                    .collect(),
+            )
         };
         let (wa, wb, wc) = (
             input_word(&mutated, "a", w),
@@ -97,7 +87,10 @@ fn main() {
         }
     }
     let (target, mutated, miter) = chosen.expect("an observable fault exists");
-    println!("injecting {:?} at node {target:?}", MutationKind::InvertOutput);
+    println!(
+        "injecting {:?} at node {target:?}",
+        MutationKind::InvertOutput
+    );
 
     // Hunt through the cases.
     for case in &cases {
@@ -166,7 +159,11 @@ fn main() {
         );
         println!(
             "  verdict: the {} FPU is wrong",
-            if impl_r != oracle.bits { "implementation" } else { "reference" }
+            if impl_r != oracle.bits {
+                "implementation"
+            } else {
+                "reference"
+            }
         );
         return;
     }

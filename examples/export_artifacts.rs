@@ -78,10 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. VCD: plant a bug, find the counterexample formally, dump the wave.
     let impl_cone = harness
         .netlist
-        .comb_cone(&harness.impl_fpu.outputs.result.bits().to_vec());
+        .comb_cone(harness.impl_fpu.outputs.result.bits());
     let ref_cone = harness
         .netlist
-        .comb_cone(&harness.ref_fpu.outputs.result.bits().to_vec());
+        .comb_cone(harness.ref_fpu.outputs.result.bits());
     let candidates: Vec<_> = harness
         .netlist
         .node_ids()

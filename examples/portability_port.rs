@@ -77,7 +77,7 @@ fn main() {
             mode,
             fmaverify_fpu::PipelineMode::Combinational,
         );
-        sizes.push(n.cone_size(&fpu.outputs.result.bits().to_vec()));
+        sizes.push(n.cone_size(fpu.outputs.result.bits()));
     }
     println!(
         "implementation sizes: booth {} gates vs array {} gates",

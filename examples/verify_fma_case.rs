@@ -37,13 +37,14 @@ fn main() {
         format: FpFormat::new(exp, frac),
         denormals,
     };
-    println!(
-        "verifying {op:?} at ({exp},{frac}), {denormals:?}, multiplier isolated\n"
-    );
+    println!("verifying {op:?} at ({exp},{frac}), {denormals:?}, multiplier isolated\n");
     let report = verify_instruction(&cfg, op, &RunOptions::default());
     println!("{}", summarize(&report));
     println!();
-    println!("{}", render_table1(&table1_rows(std::slice::from_ref(&report))));
+    println!(
+        "{}",
+        render_table1(&table1_rows(std::slice::from_ref(&report)))
+    );
     if let Some(fail) = report.first_failure() {
         println!("FIRST FAILURE: {:?}", fail.case);
         if let Some(cex) = &fail.counterexample {

@@ -144,21 +144,13 @@ fn injected_faults_are_caught_with_oracle_confirmed_counterexamples() {
             let constraint = mutated.find_probe(probe).expect("constraint probe");
             let failed = match case {
                 CaseId::FarOut | CaseId::Monolithic => {
-                    let out = check_miter_sat(
-                        &mutated,
-                        miter,
-                        constraint,
-                        &SatEngineOptions::default(),
-                    );
+                    let out =
+                        check_miter_sat(&mutated, miter, constraint, &SatEngineOptions::default());
                     (!out.holds).then_some(out.counterexample).flatten()
                 }
                 _ => {
-                    let out = check_miter_bdd(
-                        &mutated,
-                        miter,
-                        constraint,
-                        &BddEngineOptions::default(),
-                    );
+                    let out =
+                        check_miter_bdd(&mutated, miter, constraint, &BddEngineOptions::default());
                     (!out.holds).then_some(out.counterexample).flatten()
                 }
             };
@@ -207,5 +199,8 @@ fn injected_faults_are_caught_with_oracle_confirmed_counterexamples() {
         caught >= num_faults - skipped_unobservable,
         "caught {caught}, skipped {skipped_unobservable}"
     );
-    assert!(caught >= 6, "too few faults were observable/caught: {caught}");
+    assert!(
+        caught >= 6,
+        "too few faults were observable/caught: {caught}"
+    );
 }

@@ -4,8 +4,8 @@
 //! and its soundness obligation, and the case split is proven complete.
 
 use fmaverify::{
-    enumerate_cases, prove_completeness, prove_multiplier_soundness, verify_instruction, Engine,
-    HarnessOptions, RunOptions,
+    enumerate_cases, prove_completeness, prove_multiplier_soundness, verify_instruction,
+    EngineKind, HarnessOptions, RunOptions,
 };
 use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
 use fmaverify_softfloat::FpFormat;
@@ -33,10 +33,12 @@ fn all_instructions_verify_flush_to_zero() {
         for r in &report.results {
             match r.case {
                 fmaverify::CaseId::FarOut | fmaverify::CaseId::Monolithic => {
-                    assert_eq!(r.engine, Engine::Sat)
+                    assert_eq!(r.engine, EngineKind::Sat)
                 }
-                _ => assert_eq!(r.engine, Engine::Bdd),
+                _ => assert_eq!(r.engine, EngineKind::Bdd),
             }
+            // The default policy never needs to escalate on the clean design.
+            assert_eq!(r.escalations(), 0);
         }
     }
 }
@@ -68,7 +70,7 @@ fn fma_verifies_at_micro_format() {
     assert!(report
         .results
         .iter()
-        .any(|r| r.bdd_peak_nodes.unwrap_or(0) > 0));
+        .any(|r| r.stats.peak_bdd_nodes.unwrap_or(0) > 0));
 }
 
 #[test]
@@ -159,8 +161,8 @@ fn pipelined_implementation_agrees_with_reference_by_simulation() {
 #[ignore = "full double precision; ~2 minutes"]
 fn double_precision_spot_checks() {
     use fmaverify::{
-        build_harness, check_miter_bdd_parts, check_miter_sat_parts, paper_order,
-        BddEngineOptions, CaseId, SatEngineOptions, ShaCase,
+        build_harness, check_miter_bdd_parts, check_miter_sat_parts, paper_order, BddEngineOptions,
+        CaseId, SatEngineOptions, ShaCase,
     };
     let cfg = FpuConfig {
         format: FpFormat::DOUBLE,

@@ -35,10 +35,9 @@ fn delta_case_constraints_are_mutually_exclusive() {
             }
             CaseId::OverlapCancel { delta, .. } => {
                 if seen.insert(*delta) {
-                    delta_level.push(h.case_constraint(
-                        FpuOp::Fma,
-                        CaseId::OverlapNoCancel { delta: *delta },
-                    ));
+                    delta_level.push(
+                        h.case_constraint(FpuOp::Fma, CaseId::OverlapNoCancel { delta: *delta }),
+                    );
                 }
             }
             CaseId::Monolithic => unreachable!(),
@@ -93,8 +92,18 @@ fn bdd_and_sat_engines_agree_per_case() {
     assert!(sample.len() >= 3);
     for case in sample {
         let constraint = h.case_constraint(FpuOp::Fma, case);
-        let bdd = check_miter_bdd(&h.netlist, h.miter, constraint, &BddEngineOptions::default());
-        let sat = check_miter_sat(&h.netlist, h.miter, constraint, &SatEngineOptions::default());
+        let bdd = check_miter_bdd(
+            &h.netlist,
+            h.miter,
+            constraint,
+            &BddEngineOptions::default(),
+        );
+        let sat = check_miter_sat(
+            &h.netlist,
+            h.miter,
+            constraint,
+            &SatEngineOptions::default(),
+        );
         assert!(!bdd.aborted && !sat.unknown);
         assert_eq!(bdd.holds, sat.holds, "engines disagree on {case:?}");
         assert!(bdd.holds, "the unmutated design verifies");

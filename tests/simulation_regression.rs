@@ -19,22 +19,18 @@ use fmaverify_fpu::{
 use fmaverify_netlist::{BitSim, Netlist};
 use fmaverify_softfloat::{FpFormat, RoundingMode};
 
-fn oracle(
-    cfg: &FpuConfig,
-    op: FpuOp,
-    a: u128,
-    b: u128,
-    c: u128,
-    rm: RoundingMode,
-) -> (u128, u32) {
+fn oracle(cfg: &FpuConfig, op: FpuOp, a: u128, b: u128, c: u128, rm: RoundingMode) -> (u128, u32) {
     let r = op.apply(cfg, a, b, c, rm);
     (r.bits, r.flags.encode())
 }
 
 #[test]
 fn targeted_simulation_regression() {
-    for (fmt, per_target) in [(FpFormat::new(3, 2), 400), (FpFormat::MICRO, 400), (FpFormat::HALF, 250)]
-    {
+    for (fmt, per_target) in [
+        (FpFormat::new(3, 2), 400),
+        (FpFormat::MICRO, 400),
+        (FpFormat::HALF, 250),
+    ] {
         for mode in [DenormalMode::FlushToZero, DenormalMode::FullIeee] {
             let cfg = FpuConfig {
                 format: fmt,
@@ -118,7 +114,10 @@ fn implementation_variants_are_equivalent_by_cec() {
         "variants differ on output {:?} with cex {:?}",
         result.failing_output, result.counterexample
     );
-    assert!(result.swept_merges > 0, "sweeping should find shared structure");
+    assert!(
+        result.swept_merges > 0,
+        "sweeping should find shared structure"
+    );
 }
 
 #[test]
