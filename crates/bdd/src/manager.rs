@@ -162,6 +162,12 @@ enum CacheOp {
 
 /// Statistics the verification engine reports per case (the raw material of
 /// the paper's Table 1).
+///
+/// The operation counters (`ite_calls`, `cache_hits`, `cache_misses`,
+/// `nodes_created`) are plain `u64` increments on paths that already hash
+/// into the unique/computed tables, so keeping them always-on costs nothing
+/// measurable; the telemetry layer in `fmaverify::trace` surfaces them per
+/// case.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BddStats {
     /// Number of nodes currently allocated (including dead nodes not yet
@@ -172,6 +178,15 @@ pub struct BddStats {
     pub peak_allocated: usize,
     /// Number of garbage collections performed.
     pub gc_runs: u64,
+    /// Recursive apply (`ite`/`constrain`/`restrict`/quantification) calls.
+    pub ite_calls: u64,
+    /// Computed-table lookups that hit.
+    pub cache_hits: u64,
+    /// Computed-table lookups that missed (and were recomputed).
+    pub cache_misses: u64,
+    /// Total nodes ever created (survives garbage collection, unlike
+    /// `allocated`).
+    pub nodes_created: u64,
 }
 
 /// A reduced ordered BDD manager with complement edges.
@@ -233,7 +248,7 @@ impl BddManager {
             stats: BddStats {
                 allocated: 1,
                 peak_allocated: 1,
-                gc_runs: 0,
+                ..BddStats::default()
             },
         }
     }
@@ -318,6 +333,7 @@ impl BddManager {
                 let id = self.nodes.len() as u32;
                 self.nodes.push(Node { var, high, low });
                 self.unique.insert(key, id);
+                self.stats.nodes_created += 1;
                 if self.nodes.len() > self.stats.peak_allocated {
                     self.stats.peak_allocated = self.nodes.len();
                 }
@@ -388,9 +404,12 @@ impl BddManager {
             (f, g, h, out_neg)
         };
         let key = (CacheOp::Ite, f, g, h);
+        self.stats.ite_calls += 1;
         if let Some(&r) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
             return if out_neg { !r } else { r };
         }
+        self.stats.cache_misses += 1;
         let level = self
             .level_of_ref(f)
             .min(self.level_of_ref(g))
@@ -462,9 +481,12 @@ impl BddManager {
             return Bdd::FALSE;
         }
         let key = (CacheOp::Constrain, f, c, Bdd::FALSE);
+        self.stats.ite_calls += 1;
         if let Some(&r) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
             return r;
         }
+        self.stats.cache_misses += 1;
         let level = self.level_of_ref(f).min(self.level_of_ref(c));
         let (c1, c0) = self.cofactors(c, level);
         let (f1, f0) = self.cofactors(f, level);
@@ -509,9 +531,12 @@ impl BddManager {
             return Bdd::FALSE;
         }
         let key = (CacheOp::Restrict, f, c, Bdd::FALSE);
+        self.stats.ite_calls += 1;
         if let Some(&r) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
             return r;
         }
+        self.stats.cache_misses += 1;
         let f_level = self.level_of_ref(f);
         let c_level = self.level_of_ref(c);
         let r = if c_level < f_level {
@@ -567,9 +592,12 @@ impl BddManager {
             return f;
         }
         let key = (CacheOp::Exists, f, cube, Bdd::FALSE);
+        self.stats.ite_calls += 1;
         if let Some(&r) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
             return r;
         }
+        self.stats.cache_misses += 1;
         let f_level = self.level_of_ref(f);
         // Skip cube variables above f's top variable.
         let mut cube = cube;
@@ -614,9 +642,12 @@ impl BddManager {
             return Bdd::TRUE;
         }
         let key = (CacheOp::AndExists, f, g, cube);
+        self.stats.ite_calls += 1;
         if let Some(&r) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
             return r;
         }
+        self.stats.cache_misses += 1;
         let level = self.level_of_ref(f).min(self.level_of_ref(g));
         let mut cube = cube;
         while !cube.is_true() && self.level_of_ref(cube) < level {

@@ -9,8 +9,8 @@
 //! redundancy removal, showing that the multiplier collapses; and we verify
 //! the add instruction end to end without isolation.
 
-use fmaverify::{summarize, verify_instruction, HarnessOptions, RunOptions, ToJson};
-use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json};
+use fmaverify::{summarize, HarnessOptions, Session, ToJson};
+use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json, tracer_from_env};
 use fmaverify_fpu::{FpuInputs, FpuOp, MultiplierMode, PipelineMode};
 use fmaverify_netlist::{sat_sweep, Netlist, SweepOptions};
 
@@ -93,17 +93,13 @@ fn main() {
     );
 
     // End-to-end add verification without isolation.
-    let report = verify_instruction(
-        &cfg,
-        FpuOp::Add,
-        &RunOptions {
-            harness: HarnessOptions {
-                isolate_multiplier: false,
-                ..HarnessOptions::default()
-            },
-            ..RunOptions::default()
-        },
-    );
+    let report = Session::new(&cfg)
+        .tracer(tracer_from_env("add_constprop"))
+        .harness_options(HarnessOptions {
+            isolate_multiplier: false,
+            ..HarnessOptions::default()
+        })
+        .run(FpuOp::Add);
     println!("{}", summarize(&report));
     assert!(report.all_hold());
     maybe_write_json("add_constprop", || report.to_json());

@@ -11,8 +11,8 @@
 //! quadratic case growth including the ~17k count at double precision,
 //! and (c) run the full extended sweep at the benchmark format.
 
-use fmaverify::{enumerate_cases, summarize, verify_instruction, RunOptions, ToJson};
-use fmaverify_bench::{banner, compare, dur, env_u32, maybe_write_json};
+use fmaverify::{enumerate_cases, summarize, Session, ToJson};
+use fmaverify_bench::{banner, compare, dur, env_u32, maybe_write_json, tracer_from_env};
 use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
 use fmaverify_softfloat::{fma_with, FpClass, FpFormat, RoundingMode};
 
@@ -105,9 +105,10 @@ fn main() {
         cfg.format.exp_bits(),
         cfg.format.frac_bits()
     );
+    let session = Session::new(&cfg).tracer(tracer_from_env("denormal_extension"));
     let mut reports = Vec::new();
     for op in [FpuOp::Fma, FpuOp::Add, FpuOp::Mul] {
-        let report = verify_instruction(&cfg, op, &RunOptions::default());
+        let report = session.run(op);
         println!("  {}", summarize(&report));
         assert!(report.all_hold(), "{:?}", report.first_failure());
         reports.push(report);

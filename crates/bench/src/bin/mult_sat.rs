@@ -9,8 +9,8 @@
 //! similarities between the denormalization shifters in the real and the
 //! reference FPU."
 
-use fmaverify::{summarize, verify_instruction, EngineKind, JsonValue, RunOptions, ToJson};
-use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json};
+use fmaverify::{summarize, EngineKind, JsonValue, Session, ToJson};
+use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json, tracer_from_env};
 use fmaverify_fpu::FpuOp;
 
 fn main() {
@@ -19,21 +19,15 @@ fn main() {
         "§5: multiply verified by one SAT run, no case split",
     );
     let cfg = bench_config();
+    let session = Session::new(&cfg).tracer(tracer_from_env("mult_sat"));
 
     // Without sweeping.
-    let plain = verify_instruction(&cfg, FpuOp::Mul, &RunOptions::default());
+    let plain = session.run(FpuOp::Mul);
     println!("plain:   {}", summarize(&plain));
     assert!(plain.all_hold());
 
     // With redundancy removal first (the paper's configuration).
-    let swept = verify_instruction(
-        &cfg,
-        FpuOp::Mul,
-        &RunOptions {
-            sweep_before_sat: true,
-            ..RunOptions::default()
-        },
-    );
+    let swept = session.clone().sweep_before_sat(true).run(FpuOp::Mul);
     println!("swept:   {}", summarize(&swept));
     assert!(swept.all_hold());
 

@@ -9,10 +9,8 @@
 //! AND-array) and two pipeline depths: the isolated verification artifacts
 //! are shared verbatim; only the S'/T' rules are re-derived and re-proved.
 
-use fmaverify::{
-    derive_st_constants_for, prove_multiplier_soundness_for, verify_instruction, RunOptions,
-};
-use fmaverify_bench::{banner, bench_config, compare, dur};
+use fmaverify::{derive_st_constants_for, prove_multiplier_soundness_for, Session};
+use fmaverify_bench::{banner, bench_config, compare, dur, tracer_from_env};
 use fmaverify_fpu::{FpuInputs, FpuOp, MultiplierMode, PipelineMode};
 use fmaverify_netlist::{BitSim, Netlist};
 use std::time::Instant;
@@ -27,7 +25,9 @@ fn main() {
     // Shared artifact: the isolated verification (identical for every
     // implementation variant, because neither FPU contains a multiplier).
     let t = Instant::now();
-    let report = verify_instruction(&cfg, FpuOp::Fma, &RunOptions::default());
+    let report = Session::new(&cfg)
+        .tracer(tracer_from_env("portability"))
+        .run(FpuOp::Fma);
     let shared_time = t.elapsed();
     assert!(report.all_hold());
     println!(

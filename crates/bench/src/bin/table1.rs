@@ -21,10 +21,8 @@
 //! peaks, far-out/mult are SAT-only (n/a nodes), and the far-out SAT run is
 //! the slowest single job.
 
-use fmaverify::{
-    render_table1, summarize, table1_rows, verify_instruction, JsonValue, RunOptions, ToJson,
-};
-use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json};
+use fmaverify::{render_table1, summarize, table1_rows, JsonValue, Session, ToJson};
+use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json, tracer_from_env};
 use fmaverify_fpu::FpuOp;
 
 fn main() {
@@ -33,9 +31,10 @@ fn main() {
         "Table 1: BDD nodes and runtimes for the double-precision cases",
     );
     let cfg = bench_config();
+    let session = Session::new(&cfg).tracer(tracer_from_env("table1"));
     let mut reports = Vec::new();
     for op in [FpuOp::Add, FpuOp::Mul, FpuOp::Fma] {
-        let report = verify_instruction(&cfg, op, &RunOptions::default());
+        let report = session.run(op);
         println!("{}", summarize(&report));
         assert!(
             report.all_hold(),

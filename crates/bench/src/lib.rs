@@ -76,6 +76,12 @@ pub fn json_requested() -> bool {
 /// Writes per-case results under `results/<experiment>.json` when
 /// [`json_requested`] — the value is only rendered if the flag is set.
 /// Returns the path written.
+///
+/// The payload is wrapped in a schema-versioned envelope (see DESIGN.md):
+///
+/// ```json
+/// { "schema_version": 2, "experiment": "...", "format": {...}, "data": ... }
+/// ```
 pub fn maybe_write_json(
     experiment: &str,
     value: impl FnOnce() -> fmaverify::JsonValue,
@@ -86,9 +92,56 @@ pub fn maybe_write_json(
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).expect("create results/ directory");
     let path = dir.join(format!("{experiment}.json"));
-    std::fs::write(&path, value().render_pretty()).expect("write JSON results");
+    let cfg = bench_config();
+    let envelope = fmaverify::JsonValue::object(vec![
+        (
+            "schema_version",
+            fmaverify::JsonValue::int(u64::from(fmaverify::SCHEMA_VERSION)),
+        ),
+        ("experiment", fmaverify::JsonValue::string(experiment)),
+        (
+            "format",
+            fmaverify::JsonValue::object(vec![
+                (
+                    "exp_bits",
+                    fmaverify::JsonValue::int(u64::from(cfg.format.exp_bits())),
+                ),
+                (
+                    "frac_bits",
+                    fmaverify::JsonValue::int(u64::from(cfg.format.frac_bits())),
+                ),
+                (
+                    "denormals",
+                    fmaverify::JsonValue::string(format!("{:?}", cfg.denormals)),
+                ),
+            ]),
+        ),
+        ("data", value()),
+    ]);
+    std::fs::write(&path, envelope.render_pretty()).expect("write JSON results");
     println!("json:       wrote {}", path.display());
     Some(path)
+}
+
+/// Builds the tracer the environment asks for: `FMAVERIFY_TRACE=1` streams
+/// JSONL telemetry to `results/<experiment>.trace.jsonl`,
+/// `FMAVERIFY_TRACE=<path>` streams to that path, unset returns the
+/// near-zero-cost disabled tracer.
+pub fn tracer_from_env(experiment: &str) -> fmaverify::Tracer {
+    let Some(value) = std::env::var_os("FMAVERIFY_TRACE") else {
+        return fmaverify::Tracer::disabled();
+    };
+    let path = match value.to_str() {
+        Some("") | Some("0") | None => return fmaverify::Tracer::disabled(),
+        Some("1") => {
+            std::fs::create_dir_all("results").expect("create results/ directory");
+            std::path::PathBuf::from(format!("results/{experiment}.trace.jsonl"))
+        }
+        Some(p) => std::path::PathBuf::from(p),
+    };
+    let tracer = fmaverify::Tracer::to_jsonl_file(&path).expect("open trace file");
+    println!("trace:      streaming to {}", path.display());
+    tracer
 }
 
 /// A paper-vs-measured comparison line for EXPERIMENTS.md.

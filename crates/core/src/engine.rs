@@ -25,8 +25,10 @@ use crate::cases::CaseId;
 use crate::engine_bdd::{check_miter_bdd_parts, BddEngineOptions, Minimize};
 use crate::engine_bdd_seq::check_miter_bdd_sequential;
 use crate::engine_sat::{check_miter_sat_parts, SatEngineOptions};
+use crate::error::Error;
 use crate::harness::Harness;
 use crate::order::paper_order;
+use crate::trace::{Counter, MetricSet};
 
 /// Which kind of engine produced a result.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -70,6 +72,10 @@ pub struct EngineStats {
     pub coi_ands: Option<usize>,
     /// Wall-clock time of the attempt.
     pub wall: Duration,
+    /// Fine-grained operation counters (cache hits, propagations, sweep
+    /// merges, …) for the telemetry layer; always collected — the engines
+    /// count into their own stats structs and this is a cheap translation.
+    pub metrics: MetricSet,
 }
 
 /// What one engine attempt concluded.
@@ -81,8 +87,8 @@ pub enum EngineVerdict {
     Counterexample(HashMap<String, bool>),
     /// The budget was exhausted before a conclusion; escalate or give up.
     BudgetExceeded,
-    /// The engine failed (e.g. panicked); the message describes how.
-    Error(String),
+    /// The engine failed (e.g. panicked); the typed cause says how.
+    Error(Error),
 }
 
 impl EngineVerdict {
@@ -106,9 +112,9 @@ pub struct EngineOutcome {
 
 impl EngineOutcome {
     /// An error outcome with empty stats except wall time.
-    pub fn error(message: impl Into<String>, wall: Duration) -> Self {
+    pub fn error(cause: Error, wall: Duration) -> Self {
         EngineOutcome {
-            verdict: EngineVerdict::Error(message.into()),
+            verdict: EngineVerdict::Error(cause),
             stats: EngineStats {
                 wall,
                 ..EngineStats::default()
@@ -302,12 +308,21 @@ impl CaseEngine for SatCaseEngine {
                 conflict_budget: budget.conflict_limit,
             },
         );
+        let mut metrics = MetricSet::new();
+        metrics.add(Counter::SatDecisions, out.stats.decisions);
+        metrics.add(Counter::SatPropagations, out.stats.propagations);
+        metrics.add(Counter::SatConflicts, out.stats.conflicts);
+        metrics.add(Counter::SatRestarts, out.stats.restarts);
+        metrics.add(Counter::SweepMerges, out.sweep_merged as u64);
+        metrics.add(Counter::SweepSatCalls, out.sweep_sat_calls as u64);
+        metrics.add(Counter::SweepSimRounds, out.sweep_sim_rounds as u64);
         let stats = EngineStats {
             peak_bdd_nodes: None,
             care_nodes: None,
             sat_conflicts: Some(out.stats.conflicts),
             coi_ands: Some(out.cone_ands),
             wall: out.duration,
+            metrics,
         };
         let verdict = if out.unknown {
             EngineVerdict::BudgetExceeded
@@ -316,9 +331,9 @@ impl CaseEngine for SatCaseEngine {
         } else {
             match out.counterexample {
                 Some(cex) => EngineVerdict::Counterexample(cex),
-                None => {
-                    EngineVerdict::Error("SAT engine reported failure without a model".to_string())
-                }
+                None => EngineVerdict::Error(Error::MissingModel {
+                    engine: EngineKind::Sat,
+                }),
             }
         };
         EngineOutcome { verdict, stats }
@@ -326,12 +341,21 @@ impl CaseEngine for SatCaseEngine {
 }
 
 fn bdd_outcome_to_engine(out: crate::engine_bdd::BddOutcome) -> EngineOutcome {
+    let m = out.manager_stats;
+    let mut metrics = MetricSet::new();
+    metrics.add(Counter::BddIteCalls, m.ite_calls);
+    metrics.add(Counter::BddCacheHits, m.cache_hits);
+    metrics.add(Counter::BddCacheMisses, m.cache_misses);
+    metrics.add(Counter::BddNodesAllocated, m.nodes_created);
+    metrics.add(Counter::BddPeakLiveNodes, out.peak_nodes as u64);
+    metrics.add(Counter::BddGcRuns, m.gc_runs);
     let stats = EngineStats {
         peak_bdd_nodes: Some(out.peak_nodes),
         care_nodes: Some(out.care_nodes),
         sat_conflicts: None,
         coi_ands: None,
         wall: out.duration,
+        metrics,
     };
     let verdict = if out.aborted {
         EngineVerdict::BudgetExceeded
@@ -340,7 +364,9 @@ fn bdd_outcome_to_engine(out: crate::engine_bdd::BddOutcome) -> EngineOutcome {
     } else {
         match out.counterexample {
             Some(cex) => EngineVerdict::Counterexample(cex),
-            None => EngineVerdict::Error("BDD engine reported failure without a model".to_string()),
+            None => EngineVerdict::Error(Error::MissingModel {
+                engine: EngineKind::Bdd,
+            }),
         }
     };
     EngineOutcome { verdict, stats }

@@ -79,6 +79,10 @@ pub struct BddOutcome {
     /// True if the node limit aborted the run (result fields are then
     /// meaningless except `peak_nodes`).
     pub aborted: bool,
+    /// Manager operation counters (apply calls, computed-table hits/misses,
+    /// allocations, GC runs) snapshotted at the end of the run, for the
+    /// telemetry layer.
+    pub manager_stats: fmaverify_bdd::BddStats,
 }
 
 /// Checks that `miter` is false everywhere on the care set defined by
@@ -166,6 +170,7 @@ pub fn check_miter_bdd_parts(
         care_nodes,
         duration: start.elapsed(),
         aborted: true,
+        manager_stats: mgr.stats(),
     };
     for part in parts {
         let cone = netlist.comb_cone(&[part]);
@@ -238,6 +243,7 @@ pub fn check_miter_bdd_parts(
             care_nodes: 1,
             duration: start.elapsed(),
             aborted: false,
+            manager_stats: mgr.stats(),
         };
     }
     let care_nodes = mgr.reachable_count(&[care_bdd]);
@@ -332,6 +338,7 @@ pub fn check_miter_bdd_parts(
             care_nodes,
             duration: start.elapsed(),
             aborted: true,
+            manager_stats: mgr.stats(),
         };
     }
     let miter_val = edge(&values, miter);
@@ -362,6 +369,7 @@ pub fn check_miter_bdd_parts(
         care_nodes,
         duration: start.elapsed(),
         aborted: false,
+        manager_stats: mgr.stats(),
     }
 }
 

@@ -123,6 +123,7 @@ pub fn check_miter_bdd_sequential(
             care_nodes: 1,
             duration: start.elapsed(),
             aborted: false,
+            manager_stats: mgr.stats(),
         };
     }
     let care_nodes = mgr.reachable_count(&[care]);
@@ -175,6 +176,7 @@ pub fn check_miter_bdd_sequential(
                         care_nodes,
                         duration: start.elapsed(),
                         aborted: true,
+                        manager_stats: mgr.stats(),
                     };
                 }
             }
@@ -205,6 +207,7 @@ pub fn check_miter_bdd_sequential(
         care_nodes,
         duration: start.elapsed(),
         aborted: false,
+        manager_stats: mgr.stats(),
     }
 }
 

@@ -36,6 +36,13 @@ pub struct SatOutcome {
     pub cone_ands: usize,
     /// AND gates merged away by sweeping (0 when disabled).
     pub swept_away: usize,
+    /// Node merges performed by sweeping (0 when disabled).
+    pub sweep_merged: usize,
+    /// SAT equivalence queries issued by sweeping (0 when disabled).
+    pub sweep_sat_calls: usize,
+    /// Simulation rounds run by sweeping, seed plus refinement (0 when
+    /// disabled).
+    pub sweep_sim_rounds: usize,
     /// Wall-clock duration.
     pub duration: Duration,
     /// True when the conflict budget was exhausted (result unknown).
@@ -63,18 +70,22 @@ pub fn check_miter_sat_parts(
     let start = Instant::now();
     let mut roots: Vec<Signal> = vec![miter];
     roots.extend_from_slice(care_parts);
-    let (owned, roots, swept_away) = if opts.sweep_first {
-        let before = netlist.cone_size(&roots);
-        let result = sat_sweep(netlist, &roots, SweepOptions::default());
-        let after = result.ands_after;
-        (
-            Some(result.netlist),
-            result.roots,
-            before.saturating_sub(after),
-        )
-    } else {
-        (None, roots, 0)
-    };
+    let (owned, roots, swept_away, sweep_merged, sweep_sat_calls, sweep_sim_rounds) =
+        if opts.sweep_first {
+            let before = netlist.cone_size(&roots);
+            let result = sat_sweep(netlist, &roots, SweepOptions::default());
+            let after = result.ands_after;
+            (
+                Some(result.netlist),
+                result.roots,
+                before.saturating_sub(after),
+                result.merged,
+                result.sat_calls,
+                result.sim_rounds,
+            )
+        } else {
+            (None, roots, 0, 0, 0, 0)
+        };
     let netlist = owned.as_ref().unwrap_or(netlist);
     let miter = roots[0];
 
@@ -112,6 +123,9 @@ pub fn check_miter_sat_parts(
         stats: solver.stats(),
         cone_ands,
         swept_away,
+        sweep_merged,
+        sweep_sat_calls,
+        sweep_sim_rounds,
         duration: start.elapsed(),
         unknown,
     }

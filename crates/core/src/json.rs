@@ -10,13 +10,27 @@
 //! reachable, and `serde`'s proc-macro stack cannot be vendored as a shim
 //! the way plain-library dependencies can. The [`ToJson`] trait plays the
 //! role of `Serialize` for the handful of report types that need it.
+//!
+//! PR 2 adds the other direction: [`JsonValue::parse`] is a recursive-descent
+//! reader used by `trace::summary` to fold JSONL telemetry streams back into
+//! tables, plus accessors (`get`/`as_str`/`as_u64`/…) for walking parsed
+//! documents. All machine-readable output now carries
+//! [`SCHEMA_VERSION`]` = 2`; the schema is documented in `DESIGN.md`.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use crate::engine::{EngineKind, EngineStats};
+use crate::error::Error;
 use crate::report::TableRow;
 use crate::runner::{CaseAttempt, CaseResult, CounterExample, InstructionReport, Verdict};
+
+/// Version stamp emitted in every machine-readable document.
+///
+/// Version 2 (this release) added per-case telemetry: engine counters under
+/// `"counters"`, scheduler fields (`queue_latency_seconds`, `stolen`), typed
+/// error strings, and the JSONL trace event stream.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A JSON document fragment.
 #[derive(Clone, Debug, PartialEq)]
@@ -61,6 +75,257 @@ impl JsonValue {
         value.map(f).unwrap_or(JsonValue::Null)
     }
 
+    /// Parses a JSON document (the inverse of [`JsonValue::render`]).
+    ///
+    /// Accepts exactly one value with optional surrounding whitespace.
+    /// Number parsing goes through `f64`, matching what the emitter writes;
+    /// string escapes cover the emitter's repertoire plus `\uXXXX` (basic
+    /// multilingual plane; unpaired surrogates become U+FFFD).
+    pub fn parse(text: &str) -> Result<JsonValue, Error> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n < 9e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        Error::JsonParse {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape character")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+impl JsonValue {
     /// Renders the value as a compact JSON string.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -201,6 +466,7 @@ impl ToJson for EngineStats {
             ),
             ("coi_ands", JsonValue::opt(self.coi_ands, JsonValue::int)),
             ("wall_seconds", duration_json(self.wall)),
+            ("counters", self.metrics.to_json()),
         ])
     }
 }
@@ -254,7 +520,7 @@ impl ToJson for CaseResult {
             ),
             (
                 "error",
-                JsonValue::opt(self.error.as_deref(), JsonValue::string),
+                JsonValue::opt(self.error.as_ref(), |e| JsonValue::string(e.to_string())),
             ),
             ("stats", self.stats.to_json()),
             (
@@ -262,6 +528,8 @@ impl ToJson for CaseResult {
                 JsonValue::Array(self.attempts.iter().map(|a| a.to_json()).collect()),
             ),
             ("escalations", JsonValue::int(self.escalations() as u64)),
+            ("queue_latency_seconds", duration_json(self.queue_latency)),
+            ("stolen", JsonValue::Bool(self.stolen)),
             ("duration_seconds", duration_json(self.duration)),
         ])
     }
@@ -270,6 +538,7 @@ impl ToJson for CaseResult {
 impl ToJson for InstructionReport {
     fn to_json(&self) -> JsonValue {
         JsonValue::object(vec![
+            ("schema_version", JsonValue::int(SCHEMA_VERSION)),
             ("op", JsonValue::string(format!("{:?}", self.op))),
             ("all_hold", JsonValue::Bool(self.all_hold())),
             ("cases", JsonValue::int(self.results.len() as u64)),
@@ -368,11 +637,78 @@ mod tests {
                 ..EngineStats::default()
             },
             attempts: Vec::new(),
+            queue_latency: Duration::ZERO,
+            stolen: false,
             duration: Duration::from_millis(5),
         };
         let text = r.to_json().render();
         assert!(text.contains(r#""verdict":"holds""#));
         assert!(text.contains(r#""engine":"sat""#));
         assert!(text.contains(r#""sat_conflicts":12"#));
+
+        // Schema v2: the compact rendering parses back, and the telemetry
+        // fields are reachable through the accessors.
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("verdict").and_then(|v| v.as_str()),
+            Some("holds")
+        );
+        assert_eq!(
+            parsed
+                .get("stats")
+                .and_then(|s| s.get("sat_conflicts"))
+                .and_then(|v| v.as_u64()),
+            Some(12)
+        );
+        assert_eq!(parsed.get("stolen").and_then(|v| v.as_bool()), Some(false));
+    }
+
+    #[test]
+    fn parser_round_trips_emitter_output() {
+        let v = JsonValue::object(vec![
+            ("s", JsonValue::string("a\"b\\c\nd\t\u{1}")),
+            ("n", JsonValue::Number(1.5)),
+            ("neg", JsonValue::Number(-2.0)),
+            ("e", JsonValue::Number(1e-3)),
+            ("t", JsonValue::Bool(true)),
+            ("z", JsonValue::Null),
+            ("empty_arr", JsonValue::Array(vec![])),
+            ("empty_obj", JsonValue::object(vec![])),
+            (
+                "nested",
+                JsonValue::Array(vec![
+                    JsonValue::int(1u8),
+                    JsonValue::object(vec![("k", JsonValue::string("v"))]),
+                ]),
+            ),
+        ]);
+        assert_eq!(JsonValue::parse(&v.render()).unwrap(), v);
+        assert_eq!(JsonValue::parse(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{} {}",
+        ] {
+            let err = JsonValue::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, crate::error::Error::JsonParse { .. }),
+                "{bad:?} should fail with JsonParse, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes() {
+        let v = JsonValue::parse(r#""Aé\ud800""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé\u{fffd}"));
     }
 }

@@ -24,10 +24,18 @@
 //!   automatic derivation of the implementation-specific `S'`,`T'` rules;
 //! * [`completeness`] — the tautology proof that the case split covers the
 //!   whole input space;
+//! * [`session`] — the [`Session`] facade: one builder-style entry point
+//!   for every verification flow;
 //! * [`runner`] / [`report`] — the work-stealing scheduler with per-case
 //!   budgets, [`runner::SchedulePolicy`] escalation ladders and
 //!   cancellation, plus Table-1-style aggregation;
-//! * [`json`] — machine-readable (JSON) result serialization;
+//! * [`trace`] — the telemetry layer: hierarchical spans, monotonic
+//!   counters aggregated across scheduler threads, JSONL event traces, and
+//!   the [`trace::summary`] fold that rebuilds per-case effort tables from
+//!   a trace;
+//! * [`error`] — the crate-wide [`Error`] type carried by failed cases;
+//! * [`json`] — machine-readable (JSON) result serialization, emitter and
+//!   parser;
 //! * [`cec`] — combinational equivalence checking via SAT sweeping;
 //! * [`mutate`] — fault injection for verifying the verifier.
 //!
@@ -36,16 +44,30 @@
 //! Verify the multiply instruction of a tiny-format FPU end to end:
 //!
 //! ```
-//! use fmaverify::{verify_instruction, RunOptions};
-//! use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
-//! use fmaverify_softfloat::FpFormat;
+//! use fmaverify::prelude::*;
 //!
 //! let cfg = FpuConfig {
 //!     format: FpFormat::new(3, 2),
 //!     denormals: DenormalMode::FlushToZero,
 //! };
-//! let report = verify_instruction(&cfg, FpuOp::Mul, &RunOptions::default());
+//! let report = Session::new(&cfg).run(FpuOp::Mul);
 //! assert!(report.all_hold());
+//! ```
+//!
+//! The same run with telemetry captured in memory and folded into a
+//! per-case summary table:
+//!
+//! ```
+//! use fmaverify::prelude::*;
+//!
+//! let cfg = FpuConfig {
+//!     format: FpFormat::new(3, 2),
+//!     denormals: DenormalMode::FlushToZero,
+//! };
+//! let (tracer, sink) = Tracer::in_memory();
+//! let report = Session::new(&cfg).tracer(tracer).run(FpuOp::Mul);
+//! let summary = fmaverify::trace::summary::summarize_jsonl(&sink.to_jsonl()).unwrap();
+//! assert_eq!(summary.cases.len(), report.results.len());
 //! ```
 
 #![warn(missing_docs)]
@@ -57,6 +79,7 @@ pub mod engine;
 pub mod engine_bdd;
 pub mod engine_bdd_seq;
 pub mod engine_sat;
+pub mod error;
 pub mod harness;
 pub mod isolation;
 pub mod json;
@@ -66,6 +89,8 @@ pub mod report;
 pub mod runner;
 pub mod semi_formal;
 pub mod sequential;
+pub mod session;
+pub mod trace;
 
 // Re-export the companion crates' primary types so downstream users can
 // depend on `fmaverify` alone.
@@ -86,6 +111,7 @@ pub use engine_bdd_seq::check_miter_bdd_sequential;
 pub use engine_sat::{
     check_miter_sat, check_miter_sat_parts, prove_tautology, SatEngineOptions, SatOutcome,
 };
+pub use error::Error;
 pub use harness::{
     architected_delta, build_harness, multiplier_property, Harness, HarnessOptions, StConstant,
 };
@@ -93,10 +119,11 @@ pub use isolation::{
     derive_st_constants, derive_st_constants_for, prove_multiplier_soundness,
     prove_multiplier_soundness_for, SoundnessResult,
 };
-pub use json::{JsonValue, ToJson};
+pub use json::{JsonValue, ToJson, SCHEMA_VERSION};
 pub use mutate::{inject_fault, random_fault, Mutation, MutationKind};
 pub use order::{naive_order, paper_order};
 pub use report::{render_table1, summarize, table1_rows, TableRow};
+#[allow(deprecated)]
 pub use runner::{
     run_case_ladder, run_cases, run_cases_with_policy, run_single_case, verify_instruction,
     verify_instruction_with_policy, CancellationToken, CaseAttempt, CaseResult, CounterExample,
@@ -104,3 +131,26 @@ pub use runner::{
 };
 pub use semi_formal::{semi_formal_check, SemiFormalOutcome};
 pub use sequential::{unroll_harness, UnrolledHarness};
+pub use session::Session;
+pub use trace::{Counter, MetricSet, MetricsRegistry, Span, SpanKind, TraceEvent, Tracer};
+
+/// Everything a typical verification driver needs, in one import.
+///
+/// ```
+/// use fmaverify::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::cases::{CaseClass, CaseId};
+    pub use crate::engine::{EngineBudget, EngineKind};
+    pub use crate::engine_bdd::Minimize;
+    pub use crate::error::Error;
+    pub use crate::harness::HarnessOptions;
+    pub use crate::json::ToJson;
+    pub use crate::runner::{
+        CancellationToken, CaseResult, InstructionReport, RunOptions, SchedulePolicy, Verdict,
+    };
+    pub use crate::session::Session;
+    pub use crate::trace::{Counter, SpanKind, Tracer};
+    pub use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
+    pub use fmaverify_softfloat::{FpFormat, RoundingMode};
+}

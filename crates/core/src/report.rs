@@ -192,6 +192,8 @@ mod tests {
                 ..EngineStats::default()
             },
             attempts: Vec::new(),
+            queue_latency: Duration::ZERO,
+            stolen: false,
             duration: Duration::from_millis(ms),
         }
     }

@@ -32,7 +32,10 @@ use crate::engine::{
     SatCaseEngine,
 };
 use crate::engine_bdd::Minimize;
+use crate::error::Error;
 use crate::harness::{build_harness, Harness, HarnessOptions};
+use crate::json::{JsonValue, ToJson};
+use crate::trace::{Counter, SpanKind, Tracer};
 
 /// A counterexample decoded back to operand values.
 #[derive(Clone, Debug)]
@@ -99,12 +102,17 @@ pub struct CaseResult {
     pub verdict: Verdict,
     /// Counterexample when the verdict is [`Verdict::Fails`].
     pub counterexample: Option<CounterExample>,
-    /// Engine error message when the verdict is [`Verdict::Error`].
-    pub error: Option<String>,
+    /// Typed engine error when the verdict is [`Verdict::Error`].
+    pub error: Option<Error>,
     /// Stats of the deciding attempt.
     pub stats: EngineStats,
     /// Every attempt in ladder order (length > 1 iff the case escalated).
     pub attempts: Vec<CaseAttempt>,
+    /// Time the case spent queued before a worker picked it up (zero for
+    /// single-case runs).
+    pub queue_latency: Duration,
+    /// True if a worker stole this case from a neighbour's queue.
+    pub stolen: bool,
     /// Total wall-clock time across all attempts.
     pub duration: Duration,
 }
@@ -265,6 +273,9 @@ pub struct RunOptions {
     pub stop_on_failure: bool,
     /// External stop signal; checked before every case.
     pub cancel: CancellationToken,
+    /// Telemetry pipeline; [`Tracer::disabled`] (the default) costs nearly
+    /// nothing.
+    pub tracer: Tracer,
 }
 
 impl Default for RunOptions {
@@ -280,6 +291,7 @@ impl Default for RunOptions {
             escalate: true,
             stop_on_failure: false,
             cancel: CancellationToken::new(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -324,30 +336,72 @@ impl InstructionReport {
 
 /// Verifies one instruction across all of its cases with the default
 /// policy derived from `options`.
+#[deprecated(since = "0.2.0", note = "use `fmaverify::Session::new(cfg).run(op)`")]
 pub fn verify_instruction(cfg: &FpuConfig, op: FpuOp, options: &RunOptions) -> InstructionReport {
-    verify_instruction_with_policy(cfg, op, options, &SchedulePolicy::from_options(options))
+    verify_with(cfg, op, options, &SchedulePolicy::from_options(options))
 }
 
 /// Verifies one instruction across all of its cases under an explicit
 /// [`SchedulePolicy`].
-///
-/// Constraints for all cases are materialized in the shared netlist first;
-/// the per-case checks then run in parallel over the read-only netlist.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fmaverify::Session::new(cfg).policy(p).run(op)`"
+)]
 pub fn verify_instruction_with_policy(
     cfg: &FpuConfig,
     op: FpuOp,
     options: &RunOptions,
     policy: &SchedulePolicy,
 ) -> InstructionReport {
+    verify_with(cfg, op, options, policy)
+}
+
+/// The traced instruction-level run behind [`crate::Session::run`].
+///
+/// Constraints for all cases are materialized in the shared netlist first;
+/// the per-case checks then run in parallel over the read-only netlist.
+/// When a tracer is configured, the whole run is bracketed by a `run` span
+/// with `op` children for harness construction and constraint generation,
+/// and a registry-totals event is emitted at the end.
+pub(crate) fn verify_with(
+    cfg: &FpuConfig,
+    op: FpuOp,
+    options: &RunOptions,
+    policy: &SchedulePolicy,
+) -> InstructionReport {
     let start = Instant::now();
-    let mut harness = build_harness(cfg, options.harness.clone());
+    let tracer = options.tracer.clone();
+    let mut run_span = tracer.span(SpanKind::Run, || format!("verify:{op:?}"));
+    let mut harness = {
+        let _span = run_span.child(SpanKind::Op, || "build_harness".into());
+        build_harness(cfg, options.harness.clone())
+    };
     let cases = enumerate_cases(cfg, op);
-    let constraints: Vec<(CaseId, Vec<Signal>)> = cases
-        .iter()
-        .map(|&case| (case, harness.case_constraint_parts(op, case)))
-        .collect();
-    let results = run_cases_with_policy(&harness, op, &constraints, options, policy);
+    let constraints: Vec<(CaseId, Vec<Signal>)> = {
+        let _span = run_span.child(SpanKind::Op, || "constraints".into());
+        cases
+            .iter()
+            .map(|&case| (case, harness.case_constraint_parts(op, case)))
+            .collect()
+    };
+    let results = schedule_cases(
+        &harness,
+        op,
+        &constraints,
+        options,
+        policy,
+        run_span.parent_id(),
+    );
     let accumulated = results.iter().map(|r| r.duration).sum();
+    run_span.field("op", JsonValue::string(format!("{op:?}")));
+    run_span.field("cases", JsonValue::int(results.len() as u64));
+    run_span.field(
+        "all_hold",
+        JsonValue::Bool(results.iter().all(|r| r.holds())),
+    );
+    drop(run_span);
+    tracer.emit_totals();
+    tracer.flush();
     InstructionReport {
         op,
         results,
@@ -358,13 +412,17 @@ pub fn verify_instruction_with_policy(
 
 /// Runs pre-built `(case, constraint)` pairs in parallel on the harness
 /// with the default policy derived from `options`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fmaverify::Session::new(cfg).run_prepared(...)`"
+)]
 pub fn run_cases(
     harness: &Harness,
     op: FpuOp,
     constraints: &[(CaseId, Vec<Signal>)],
     options: &RunOptions,
 ) -> Vec<CaseResult> {
-    run_cases_with_policy(
+    run_prepared_traced(
         harness,
         op,
         constraints,
@@ -375,18 +433,65 @@ pub fn run_cases(
 
 /// Runs pre-built `(case, constraint)` pairs on a work-stealing pool under
 /// an explicit policy.
-///
-/// Each worker owns a deque seeded round-robin with case indices; an idle
-/// worker steals from the back of its neighbours' deques. Since cases are
-/// only ever removed, the pool terminates when every deque is empty.
-/// Results are returned in `constraints` order regardless of completion
-/// order.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fmaverify::Session::new(cfg).policy(p).run_prepared(...)`"
+)]
 pub fn run_cases_with_policy(
     harness: &Harness,
     op: FpuOp,
     constraints: &[(CaseId, Vec<Signal>)],
     options: &RunOptions,
     policy: &SchedulePolicy,
+) -> Vec<CaseResult> {
+    run_prepared_traced(harness, op, constraints, options, policy)
+}
+
+/// [`schedule_cases`] wrapped in its own `run` span plus the end-of-run
+/// totals event — the body of [`crate::Session::run_prepared`].
+pub(crate) fn run_prepared_traced(
+    harness: &Harness,
+    op: FpuOp,
+    constraints: &[(CaseId, Vec<Signal>)],
+    options: &RunOptions,
+    policy: &SchedulePolicy,
+) -> Vec<CaseResult> {
+    let tracer = options.tracer.clone();
+    let mut run_span = tracer.span(SpanKind::Run, || format!("cases:{op:?}"));
+    let results = schedule_cases(
+        harness,
+        op,
+        constraints,
+        options,
+        policy,
+        run_span.parent_id(),
+    );
+    run_span.field("cases", JsonValue::int(results.len() as u64));
+    drop(run_span);
+    tracer.emit_totals();
+    tracer.flush();
+    results
+}
+
+/// The work-stealing pool.
+///
+/// Each worker owns a deque seeded round-robin with case indices; an idle
+/// worker steals from the back of its neighbours' deques. Since cases are
+/// only ever removed, the pool terminates when every deque is empty.
+/// Results are returned in `constraints` order regardless of completion
+/// order.
+///
+/// Every worker registers a thread slot with the tracer's metrics registry
+/// and folds its cases' engine counters plus scheduler telemetry (steals,
+/// escalations, queue latency) into it; each case runs under a `case` span
+/// parented to `parent`.
+fn schedule_cases(
+    harness: &Harness,
+    op: FpuOp,
+    constraints: &[(CaseId, Vec<Signal>)],
+    options: &RunOptions,
+    policy: &SchedulePolicy,
+    parent: Option<u64>,
 ) -> Vec<CaseResult> {
     let threads = if options.threads == 0 {
         std::thread::available_parallelism()
@@ -411,29 +516,51 @@ pub fn run_cases_with_policy(
     let results: Vec<Mutex<Option<CaseResult>>> =
         (0..constraints.len()).map(|_| Mutex::new(None)).collect();
     let cancel = &options.cancel;
+    let tracer = &options.tracer;
+    let pool_start = Instant::now();
 
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queues = &queues;
             let results = &results;
             scope.spawn(move || {
-                while let Some(idx) = next_job(w, queues) {
+                let metrics = tracer.handle();
+                while let Some((idx, stolen)) = next_job(w, queues) {
+                    let queue_latency = pool_start.elapsed();
                     let (case, constraint) = &constraints[idx];
                     let result = if cancel.is_canceled() {
                         canceled_result(op, *case, policy)
                     } else {
-                        let r = run_case_ladder(
+                        let r = run_case_traced(
                             harness,
                             op,
                             *case,
                             constraint,
                             policy.ladder(op, *case),
+                            tracer,
+                            parent,
+                            queue_latency,
+                            stolen,
                         );
                         if options.stop_on_failure && r.verdict == Verdict::Fails {
                             cancel.cancel();
                         }
                         r
                     };
+                    if metrics.is_recording() {
+                        for attempt in &result.attempts {
+                            metrics.add_set(&attempt.stats.metrics);
+                        }
+                        metrics.add(Counter::SchedCasesCompleted, 1);
+                        metrics.add(Counter::SchedEscalations, result.escalations() as u64);
+                        metrics.add(
+                            Counter::SchedQueueLatencyMicros,
+                            queue_latency.as_micros() as u64,
+                        );
+                        if stolen {
+                            metrics.add(Counter::SchedSteals, 1);
+                        }
+                    }
                     *results[idx].lock().expect("result slot") = Some(result);
                 }
             });
@@ -451,15 +578,19 @@ pub fn run_cases_with_policy(
 }
 
 /// Pops a job: first from the worker's own deque (front), then by stealing
-/// from the back of the other workers' deques.
-fn next_job(worker: usize, queues: &[Mutex<std::collections::VecDeque<usize>>]) -> Option<usize> {
+/// from the back of the other workers' deques. The flag reports whether the
+/// job was stolen.
+fn next_job(
+    worker: usize,
+    queues: &[Mutex<std::collections::VecDeque<usize>>],
+) -> Option<(usize, bool)> {
     if let Some(idx) = queues[worker].lock().expect("queue lock").pop_front() {
-        return Some(idx);
+        return Some((idx, false));
     }
     for off in 1..queues.len() {
         let victim = (worker + off) % queues.len();
         if let Some(idx) = queues[victim].lock().expect("queue lock").pop_back() {
-            return Some(idx);
+            return Some((idx, true));
         }
     }
     None
@@ -479,12 +610,18 @@ fn canceled_result(op: FpuOp, case: CaseId, policy: &SchedulePolicy) -> CaseResu
         error: None,
         stats: EngineStats::default(),
         attempts: Vec::new(),
+        queue_latency: Duration::ZERO,
+        stolen: false,
         duration: Duration::ZERO,
     }
 }
 
 /// Runs one case with the default policy derived from `options` (ladder
 /// escalation included, no threading).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fmaverify::Session::new(cfg).run_case(...)`"
+)]
 pub fn run_single_case(
     harness: &Harness,
     op: FpuOp,
@@ -493,10 +630,24 @@ pub fn run_single_case(
     options: &RunOptions,
 ) -> CaseResult {
     let policy = SchedulePolicy::from_options(options);
-    run_case_ladder(harness, op, case, constraint_parts, policy.ladder(op, case))
+    run_case_traced(
+        harness,
+        op,
+        case,
+        constraint_parts,
+        policy.ladder(op, case),
+        &options.tracer,
+        None,
+        Duration::ZERO,
+        false,
+    )
 }
 
 /// Walks one case down an escalation ladder until a stage decides it.
+///
+/// This is the un-traced low-level primitive; the scheduler and
+/// [`crate::Session`] route through the traced variant, which brackets the
+/// ladder in a `case` span.
 pub fn run_case_ladder(
     harness: &Harness,
     op: FpuOp,
@@ -504,12 +655,44 @@ pub fn run_case_ladder(
     constraint_parts: &[Signal],
     ladder: &[EngineStage],
 ) -> CaseResult {
+    run_case_traced(
+        harness,
+        op,
+        case,
+        constraint_parts,
+        ladder,
+        &Tracer::disabled(),
+        None,
+        Duration::ZERO,
+        false,
+    )
+}
+
+/// The traced per-case driver: opens a `case` span (parented to the run
+/// span via `parent`), walks the ladder with one `stage` span per attempt,
+/// and annotates the case span with verdict, deciding engine, and
+/// scheduler telemetry.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_case_traced(
+    harness: &Harness,
+    op: FpuOp,
+    case: CaseId,
+    constraint_parts: &[Signal],
+    ladder: &[EngineStage],
+    tracer: &Tracer,
+    parent: Option<u64>,
+    queue_latency: Duration,
+    stolen: bool,
+) -> CaseResult {
     assert!(!ladder.is_empty(), "empty engine ladder for {case:?}");
+    let mut case_span = tracer.span_child(parent, SpanKind::Case, || format!("{case:?}"));
     let start = Instant::now();
     let mut attempts: Vec<CaseAttempt> = Vec::with_capacity(1);
-    let mut last_error: Option<String> = None;
+    let mut last_error: Option<Error> = None;
+    let mut decided: Option<(usize, Verdict, Option<CounterExample>, EngineStats)> = None;
 
-    for stage in ladder {
+    for (rung, stage) in ladder.iter().enumerate() {
+        let mut stage_span = case_span.child(SpanKind::Stage, || stage.engine.name().to_string());
         let attempt_start = Instant::now();
         // A panicking engine must not take down the scheduler: fold the
         // panic into an Error verdict and let the ladder escalate past it.
@@ -519,7 +702,13 @@ pub fn run_case_ladder(
                 .check(harness, op, case, constraint_parts, &stage.budget)
         }))
         .unwrap_or_else(|payload| {
-            EngineOutcome::error(panic_message(payload.as_ref()), attempt_start.elapsed())
+            EngineOutcome::error(
+                Error::EnginePanic {
+                    engine: stage.engine.name(),
+                    message: panic_message(payload.as_ref()),
+                },
+                attempt_start.elapsed(),
+            )
         });
 
         let attempt_verdict = match &outcome.verdict {
@@ -528,6 +717,9 @@ pub fn run_case_ladder(
             EngineVerdict::BudgetExceeded => Verdict::BudgetExceeded,
             EngineVerdict::Error(_) => Verdict::Error,
         };
+        stage_span.record_set(&outcome.stats.metrics);
+        stage_span.field("verdict", attempt_verdict.to_json());
+        drop(stage_span);
         attempts.push(CaseAttempt {
             engine: stage.engine.kind(),
             engine_name: stage.engine.name(),
@@ -538,58 +730,86 @@ pub fn run_case_ladder(
 
         match outcome.verdict {
             EngineVerdict::Holds => {
-                return finish(
-                    case,
-                    op,
-                    stage,
-                    Verdict::Holds,
-                    None,
-                    None,
-                    outcome.stats,
-                    attempts,
-                    start,
-                )
+                decided = Some((rung, Verdict::Holds, None, outcome.stats));
+                break;
             }
             EngineVerdict::Counterexample(assignment) => {
-                let cex = decode_cex(harness, assignment);
-                return finish(
-                    case,
-                    op,
-                    stage,
-                    Verdict::Fails,
-                    Some(cex),
-                    None,
-                    outcome.stats,
-                    attempts,
-                    start,
-                );
+                let cex = {
+                    let _span = case_span.child(SpanKind::Op, || "replay".into());
+                    decode_cex(harness, assignment)
+                };
+                decided = Some((rung, Verdict::Fails, Some(cex), outcome.stats));
+                break;
             }
             EngineVerdict::BudgetExceeded => continue,
-            EngineVerdict::Error(message) => {
-                last_error = Some(message);
+            EngineVerdict::Error(cause) => {
+                last_error = Some(cause);
                 continue;
             }
         }
     }
 
-    // The whole ladder ran out without a definite verdict.
-    let last = attempts.last().expect("at least one attempt");
-    let verdict = if last.verdict == Verdict::Error {
-        Verdict::Error
-    } else {
-        Verdict::BudgetExceeded
+    let mut result = match decided {
+        Some((rung, verdict, cex, stats)) => finish(
+            case,
+            op,
+            &ladder[rung],
+            verdict,
+            cex,
+            None,
+            stats,
+            attempts,
+            start,
+        ),
+        None => {
+            // The whole ladder ran out without a definite verdict.
+            let last = attempts.last().expect("at least one attempt");
+            let verdict = if last.verdict == Verdict::Error {
+                Verdict::Error
+            } else {
+                Verdict::BudgetExceeded
+            };
+            let (engine, stats) = (last.engine, last.stats.clone());
+            CaseResult {
+                case,
+                op,
+                engine,
+                verdict,
+                counterexample: None,
+                error: last_error,
+                stats,
+                attempts,
+                queue_latency: Duration::ZERO,
+                stolen: false,
+                duration: start.elapsed(),
+            }
+        }
     };
-    CaseResult {
-        case,
-        op,
-        engine: last.engine,
-        verdict,
-        counterexample: None,
-        error: last_error,
-        stats: last.stats.clone(),
-        attempts,
-        duration: start.elapsed(),
+    result.queue_latency = queue_latency;
+    result.stolen = stolen;
+
+    if case_span.is_recording() {
+        for attempt in &result.attempts {
+            case_span.record_set(&attempt.stats.metrics);
+        }
+        case_span.record(Counter::SchedEscalations, result.escalations() as u64);
+        case_span.record(
+            Counter::SchedQueueLatencyMicros,
+            queue_latency.as_micros() as u64,
+        );
+        if stolen {
+            case_span.record(Counter::SchedSteals, 1);
+        }
+        case_span.field("verdict", result.verdict.to_json());
+        if let Some(last) = result.attempts.last() {
+            case_span.field("engine", JsonValue::string(last.engine_name));
+        }
+        case_span.field("attempts", JsonValue::int(result.attempts.len() as u64));
+        if let Some(error) = &result.error {
+            case_span.field("error", JsonValue::string(error.to_string()));
+        }
     }
+    result
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -599,7 +819,7 @@ fn finish(
     stage: &EngineStage,
     verdict: Verdict,
     counterexample: Option<CounterExample>,
-    error: Option<String>,
+    error: Option<Error>,
     stats: EngineStats,
     attempts: Vec<CaseAttempt>,
     start: Instant,
@@ -613,17 +833,19 @@ fn finish(
         error,
         stats,
         attempts,
+        queue_latency: Duration::ZERO,
+        stolen: false,
         duration: start.elapsed(),
     }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        format!("engine panicked: {s}")
+        (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
-        format!("engine panicked: {s}")
+        s.clone()
     } else {
-        "engine panicked".to_string()
+        "unknown panic payload".to_string()
     }
 }
 

@@ -1,0 +1,280 @@
+//! The [`Session`] facade: one builder-style entry point for every
+//! verification flow in the crate.
+//!
+//! Earlier revisions exposed a family of free functions
+//! (`verify_instruction`, `run_cases_with_policy`, `run_single_case`, ...)
+//! that each took a loose [`RunOptions`] plus, sometimes, an explicit
+//! [`SchedulePolicy`]. A `Session` bundles the configuration, the options,
+//! the optional policy override, and the telemetry pipeline into one value
+//! that can be configured once and used for many runs:
+//!
+//! ```
+//! use fmaverify::prelude::*;
+//!
+//! let cfg = FpuConfig {
+//!     format: FpFormat::new(3, 2),
+//!     denormals: DenormalMode::FlushToZero,
+//! };
+//! let report = Session::new(&cfg).threads(2).run(FpuOp::Mul);
+//! assert!(report.all_hold());
+//! ```
+//!
+//! Attach a [`Tracer`] to stream JSONL telemetry for any run:
+//!
+//! ```no_run
+//! use fmaverify::prelude::*;
+//!
+//! let cfg = FpuConfig::double_ftz();
+//! let tracer = Tracer::to_jsonl_file("results/fma.trace.jsonl").unwrap();
+//! let report = Session::new(&cfg).tracer(tracer).run(FpuOp::Fma);
+//! # let _ = report;
+//! ```
+
+use fmaverify_fpu::{FpuConfig, FpuOp};
+use fmaverify_netlist::Signal;
+
+use crate::cases::CaseId;
+use crate::engine::EngineBudget;
+use crate::engine_bdd::Minimize;
+use crate::harness::{Harness, HarnessOptions};
+use crate::runner::{
+    run_case_traced, run_prepared_traced, verify_with, CancellationToken, CaseResult,
+    InstructionReport, RunOptions, SchedulePolicy,
+};
+use crate::trace::Tracer;
+
+/// A configured verification session: FPU configuration, run options, an
+/// optional [`SchedulePolicy`] override, and the telemetry pipeline.
+///
+/// Construct with [`Session::new`], chain builder methods, then call one of
+/// the runners ([`Session::run`], [`Session::run_all`],
+/// [`Session::run_prepared`], [`Session::run_case`]). The session is
+/// reusable: every runner borrows `&self`, so one session can drive many
+/// instructions with identical settings.
+#[derive(Clone, Debug)]
+pub struct Session {
+    cfg: FpuConfig,
+    options: RunOptions,
+    policy: Option<SchedulePolicy>,
+}
+
+impl Session {
+    /// A session for `cfg` with default [`RunOptions`] and the default
+    /// (paper) engine policy.
+    pub fn new(cfg: &FpuConfig) -> Session {
+        Session {
+            cfg: *cfg,
+            options: RunOptions::default(),
+            policy: None,
+        }
+    }
+
+    /// Replaces the whole option set at once (escape hatch for callers that
+    /// already hold a [`RunOptions`]).
+    pub fn options(mut self, options: RunOptions) -> Session {
+        self.options = options;
+        self
+    }
+
+    /// Sets the harness construction options.
+    pub fn harness_options(mut self, harness: HarnessOptions) -> Session {
+        self.options.harness = harness;
+        self
+    }
+
+    /// Sets the BDD care-set minimization strategy.
+    pub fn minimize(mut self, minimize: Minimize) -> Session {
+        self.options.minimize = minimize;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = all available cores).
+    pub fn threads(mut self, threads: usize) -> Session {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Runs redundancy removal (SAT sweeping) before first-rung SAT cases.
+    pub fn sweep_before_sat(mut self, sweep: bool) -> Session {
+        self.options.sweep_before_sat = sweep;
+        self
+    }
+
+    /// Sets the BDD garbage-collection threshold.
+    pub fn gc_threshold(mut self, threshold: usize) -> Session {
+        self.options.gc_threshold = threshold;
+        self
+    }
+
+    /// Sets both per-case budgets from one [`EngineBudget`]: the node limit
+    /// bounds first-rung BDD attempts, the conflict limit bounds first-rung
+    /// SAT attempts.
+    pub fn budget(mut self, budget: EngineBudget) -> Session {
+        self.options.node_budget = budget.node_limit;
+        self.options.conflict_budget = budget.conflict_limit;
+        self
+    }
+
+    /// Enables or disables cross-engine escalation of blown budgets.
+    pub fn escalate(mut self, escalate: bool) -> Session {
+        self.options.escalate = escalate;
+        self
+    }
+
+    /// Cancels the remaining cases as soon as one counterexample is found
+    /// (bug-hunting mode).
+    pub fn stop_on_failure(mut self, stop: bool) -> Session {
+        self.options.stop_on_failure = stop;
+        self
+    }
+
+    /// Installs an external cancellation token, checked before every case.
+    pub fn cancel(mut self, token: CancellationToken) -> Session {
+        self.options.cancel = token;
+        self
+    }
+
+    /// Attaches a telemetry pipeline. The default, [`Tracer::disabled`],
+    /// compiles every instrumentation site down to a branch on `None`.
+    pub fn tracer(mut self, tracer: Tracer) -> Session {
+        self.options.tracer = tracer;
+        self
+    }
+
+    /// Overrides the engine policy (which ladder runs for which case
+    /// class). Without this the policy is derived from the options, which
+    /// reproduces the paper's BDD/SAT assignment.
+    pub fn policy(mut self, policy: SchedulePolicy) -> Session {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// The session's FPU configuration.
+    pub fn config(&self) -> &FpuConfig {
+        &self.cfg
+    }
+
+    /// The effective run options.
+    pub fn run_options(&self) -> &RunOptions {
+        &self.options
+    }
+
+    /// The effective policy: the explicit override if one was set, else the
+    /// policy derived from the options.
+    pub fn effective_policy(&self) -> SchedulePolicy {
+        self.policy
+            .clone()
+            .unwrap_or_else(|| SchedulePolicy::from_options(&self.options))
+    }
+
+    /// Verifies one instruction across all of its cases: builds the
+    /// harness, enumerates and constrains the cases, and runs them on the
+    /// work-stealing pool.
+    pub fn run(&self, op: FpuOp) -> InstructionReport {
+        verify_with(&self.cfg, op, &self.options, &self.effective_policy())
+    }
+
+    /// Verifies several instructions back to back, reusing the session's
+    /// settings (each instruction still builds its own harness).
+    pub fn run_all(&self, ops: &[FpuOp]) -> Vec<InstructionReport> {
+        ops.iter().map(|&op| self.run(op)).collect()
+    }
+
+    /// Runs pre-built `(case, constraint)` pairs on the work-stealing pool
+    /// — for callers that build or modify the harness themselves (fault
+    /// injection, custom case splits).
+    pub fn run_prepared(
+        &self,
+        harness: &Harness,
+        op: FpuOp,
+        constraints: &[(CaseId, Vec<Signal>)],
+    ) -> Vec<CaseResult> {
+        run_prepared_traced(
+            harness,
+            op,
+            constraints,
+            &self.options,
+            &self.effective_policy(),
+        )
+    }
+
+    /// Runs one case down its escalation ladder on the calling thread.
+    pub fn run_case(
+        &self,
+        harness: &Harness,
+        op: FpuOp,
+        case: CaseId,
+        constraint_parts: &[Signal],
+    ) -> CaseResult {
+        let policy = self.effective_policy();
+        run_case_traced(
+            harness,
+            op,
+            case,
+            constraint_parts,
+            policy.ladder(op, case),
+            &self.options.tracer,
+            None,
+            std::time::Duration::ZERO,
+            false,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmaverify_fpu::DenormalMode;
+    use fmaverify_softfloat::FpFormat;
+
+    fn tiny_cfg() -> FpuConfig {
+        FpuConfig {
+            format: FpFormat::new(3, 2),
+            denormals: DenormalMode::FlushToZero,
+        }
+    }
+
+    #[test]
+    fn builder_round_trips_options() {
+        let session = Session::new(&tiny_cfg())
+            .threads(2)
+            .sweep_before_sat(true)
+            .gc_threshold(123)
+            .budget(EngineBudget {
+                node_limit: Some(1000),
+                conflict_limit: Some(50),
+            })
+            .escalate(false)
+            .stop_on_failure(true);
+        let opts = session.run_options();
+        assert_eq!(opts.threads, 2);
+        assert!(opts.sweep_before_sat);
+        assert_eq!(opts.gc_threshold, 123);
+        assert_eq!(opts.node_budget, Some(1000));
+        assert_eq!(opts.conflict_budget, Some(50));
+        assert!(!opts.escalate);
+        assert!(opts.stop_on_failure);
+    }
+
+    #[test]
+    fn session_verifies_tiny_mul() {
+        let report = Session::new(&tiny_cfg()).threads(2).run(FpuOp::Mul);
+        assert!(report.all_hold());
+    }
+
+    #[test]
+    fn explicit_policy_overrides_derived() {
+        let session = Session::new(&tiny_cfg()).budget(EngineBudget {
+            node_limit: Some(7),
+            conflict_limit: None,
+        });
+        let derived = session.effective_policy();
+        assert_eq!(derived.overlap[0].budget.node_limit, Some(7));
+        let custom = SchedulePolicy::from_options(&RunOptions::default());
+        let session = session.policy(custom);
+        assert_eq!(
+            session.effective_policy().overlap[0].budget.node_limit,
+            None
+        );
+    }
+}

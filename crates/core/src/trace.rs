@@ -1,0 +1,1301 @@
+//! Verification telemetry: spans, counters, and JSONL traces.
+//!
+//! The paper's Table 1 is a story of measured engine effort — per-case BDD
+//! node counts, SAT conflicts, and runtimes across 585 cases. This module is
+//! the measurement substrate: a [`Tracer`] hands out hierarchical spans
+//! (run → case → engine-stage → operation) and per-thread counter slots, and
+//! streams everything as JSONL events through a pluggable [`TraceSink`].
+//! [`summary`] folds a JSONL stream back into per-case and per-engine tables.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled collection is near-zero cost.** [`Tracer::disabled`] is an
+//!    `Option::None` wrapper: creating a span is a null check, counter adds
+//!    are a branch on a `None` slot, and span names are built lazily
+//!    (closures) so the `format!` never runs. The engines themselves stay
+//!    tracer-free — they count locally into their existing stats structs
+//!    (`BddStats`, `SolverStats`, `SweepResult`) and the scheduler folds
+//!    those into the registry after each attempt.
+//! 2. **No cross-thread contention on the hot path.** The
+//!    [`MetricsRegistry`] gives each scheduler worker its own slot of
+//!    atomic counters (registered once per thread, written with relaxed
+//!    ordering by that thread only); totals are a cold-path sum.
+//! 3. **No external dependencies.** Events render through the hand-rolled
+//!    [`crate::json`] module; crates.io is unreachable in the build
+//!    environment.
+//!
+//! Spans parent explicitly by ID rather than through thread-local ambient
+//! context: the scheduler hands a case to whichever worker steals it, so the
+//! parent (the run span) lives on a different thread than the child.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::Error;
+use crate::json::{JsonValue, ToJson};
+
+/// Every counter the instrumented subsystems report.
+///
+/// The discriminant doubles as the index into a [`MetricsRegistry`] thread
+/// slot, so adding a variant is all that is needed to plumb a new counter
+/// end to end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// BDD manager: recursive apply/`ite` (and minimization/quantification)
+    /// calls.
+    BddIteCalls,
+    /// BDD manager: computed-table hits.
+    BddCacheHits,
+    /// BDD manager: computed-table misses.
+    BddCacheMisses,
+    /// BDD manager: nodes created (survives GC, unlike the live count).
+    BddNodesAllocated,
+    /// BDD manager: peak live nodes observed across attempts (reported as a
+    /// high-water mark, merged with `max` rather than `+` in summaries).
+    BddPeakLiveNodes,
+    /// BDD manager: garbage collections.
+    BddGcRuns,
+    /// SAT solver: decisions.
+    SatDecisions,
+    /// SAT solver: unit propagations.
+    SatPropagations,
+    /// SAT solver: conflicts.
+    SatConflicts,
+    /// SAT solver: restarts.
+    SatRestarts,
+    /// Netlist sweeping: nodes merged as proven equivalent.
+    SweepMerges,
+    /// Netlist sweeping: SAT equivalence queries issued.
+    SweepSatCalls,
+    /// Netlist sweeping: simulation rounds (seed + refinement).
+    SweepSimRounds,
+    /// Scheduler: cases a worker stole from a neighbour's queue.
+    SchedSteals,
+    /// Scheduler: escalations to the next engine rung in the policy ladder.
+    SchedEscalations,
+    /// Scheduler: cases completed.
+    SchedCasesCompleted,
+    /// Scheduler: total time cases spent queued before pickup, in
+    /// microseconds.
+    SchedQueueLatencyMicros,
+}
+
+impl Counter {
+    /// All counters, in slot order.
+    pub const ALL: [Counter; 17] = [
+        Counter::BddIteCalls,
+        Counter::BddCacheHits,
+        Counter::BddCacheMisses,
+        Counter::BddNodesAllocated,
+        Counter::BddPeakLiveNodes,
+        Counter::BddGcRuns,
+        Counter::SatDecisions,
+        Counter::SatPropagations,
+        Counter::SatConflicts,
+        Counter::SatRestarts,
+        Counter::SweepMerges,
+        Counter::SweepSatCalls,
+        Counter::SweepSimRounds,
+        Counter::SchedSteals,
+        Counter::SchedEscalations,
+        Counter::SchedCasesCompleted,
+        Counter::SchedQueueLatencyMicros,
+    ];
+
+    /// Stable dotted name used in JSON output (e.g. `"bdd.ite_calls"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::BddIteCalls => "bdd.ite_calls",
+            Counter::BddCacheHits => "bdd.cache_hits",
+            Counter::BddCacheMisses => "bdd.cache_misses",
+            Counter::BddNodesAllocated => "bdd.nodes_allocated",
+            Counter::BddPeakLiveNodes => "bdd.peak_live_nodes",
+            Counter::BddGcRuns => "bdd.gc_runs",
+            Counter::SatDecisions => "sat.decisions",
+            Counter::SatPropagations => "sat.propagations",
+            Counter::SatConflicts => "sat.conflicts",
+            Counter::SatRestarts => "sat.restarts",
+            Counter::SweepMerges => "sweep.merges",
+            Counter::SweepSatCalls => "sweep.sat_calls",
+            Counter::SweepSimRounds => "sweep.sim_rounds",
+            Counter::SchedSteals => "sched.steals",
+            Counter::SchedEscalations => "sched.escalations",
+            Counter::SchedCasesCompleted => "sched.cases_completed",
+            Counter::SchedQueueLatencyMicros => "sched.queue_latency_us",
+        }
+    }
+
+    /// Inverse of [`Counter::name`].
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// The registry slot index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether this counter is a high-water mark (merged with `max`) rather
+    /// than a monotonic sum.
+    pub fn is_gauge(self) -> bool {
+        matches!(self, Counter::BddPeakLiveNodes)
+    }
+}
+
+const COUNTER_COUNT: usize = Counter::ALL.len();
+
+/// A small named bag of counter values, used to carry per-attempt metrics
+/// on [`crate::EngineStats`] and per-span metrics on trace events.
+///
+/// Backed by a sorted `Vec` rather than a map: a typical attempt touches a
+/// handful of counters and results are cloned into attempt logs, so small
+/// and cheap beats asymptotics here.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricSet {
+    entries: Vec<(Counter, u64)>,
+}
+
+impl MetricSet {
+    /// An empty set.
+    pub fn new() -> MetricSet {
+        MetricSet::default()
+    }
+
+    /// Adds `value` to `counter` (gauges take the max instead).
+    pub fn add(&mut self, counter: Counter, value: u64) {
+        if value == 0 {
+            return;
+        }
+        match self.entries.binary_search_by_key(&counter, |e| e.0) {
+            Ok(i) => {
+                if counter.is_gauge() {
+                    self.entries[i].1 = self.entries[i].1.max(value);
+                } else {
+                    self.entries[i].1 += value;
+                }
+            }
+            Err(i) => self.entries.insert(i, (counter, value)),
+        }
+    }
+
+    /// The current value of `counter` (0 if never touched).
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.entries
+            .binary_search_by_key(&counter, |e| e.0)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Folds another set into this one (respecting gauge semantics).
+    pub fn merge(&mut self, other: &MetricSet) {
+        for &(c, v) in &other.entries {
+            self.add(c, v);
+        }
+    }
+
+    /// Iterates over the non-zero entries in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// True if no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses the object form emitted by [`MetricSet::to_json`], ignoring
+    /// unknown counter names (forward compatibility).
+    pub fn from_json(value: &JsonValue) -> MetricSet {
+        let mut out = MetricSet::new();
+        if let Some(fields) = value.as_object() {
+            for (k, v) in fields {
+                if let (Some(c), Some(n)) = (Counter::from_name(k), v.as_u64()) {
+                    out.add(c, n);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ToJson for MetricSet {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.entries
+                .iter()
+                .map(|&(c, v)| (c.name().to_string(), JsonValue::int(v)))
+                .collect(),
+        )
+    }
+}
+
+impl FromIterator<(Counter, u64)> for MetricSet {
+    fn from_iter<I: IntoIterator<Item = (Counter, u64)>>(iter: I) -> MetricSet {
+        let mut out = MetricSet::new();
+        for (c, v) in iter {
+            out.add(c, v);
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct ThreadSlot {
+    counts: [AtomicU64; COUNTER_COUNT],
+}
+
+impl ThreadSlot {
+    fn new() -> ThreadSlot {
+        ThreadSlot {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Per-thread counter storage.
+///
+/// Each scheduler worker calls [`MetricsRegistry::register`] once and then
+/// increments its private slot with relaxed atomics — no locks and no
+/// cache-line ping-pong between workers on the hot path ("lock-free-ish":
+/// the slot list itself is behind a mutex, taken only at registration and
+/// when summing totals).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    slots: Mutex<Vec<Arc<ThreadSlot>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Allocates a fresh thread slot. Call once per worker thread.
+    pub fn register(&self) -> MetricsHandle {
+        let slot = Arc::new(ThreadSlot::new());
+        self.slots.lock().unwrap().push(Arc::clone(&slot));
+        MetricsHandle { slot: Some(slot) }
+    }
+
+    /// Number of thread slots registered so far.
+    pub fn threads(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// Sums all thread slots into one [`MetricSet`] (gauges take the max
+    /// across threads).
+    pub fn totals(&self) -> MetricSet {
+        let slots = self.slots.lock().unwrap();
+        let mut out = MetricSet::new();
+        for slot in slots.iter() {
+            for c in Counter::ALL {
+                let v = slot.counts[c.index()].load(Ordering::Relaxed);
+                out.add(c, v);
+            }
+        }
+        out
+    }
+}
+
+/// A writer handle into a [`MetricsRegistry`] thread slot.
+///
+/// The no-op form (from [`Tracer::handle`] on a disabled tracer, or
+/// [`MetricsHandle::noop`]) makes every operation a single branch.
+#[derive(Clone, Debug)]
+pub struct MetricsHandle {
+    slot: Option<Arc<ThreadSlot>>,
+}
+
+impl MetricsHandle {
+    /// A handle that discards everything.
+    pub fn noop() -> MetricsHandle {
+        MetricsHandle { slot: None }
+    }
+
+    /// True if increments actually land somewhere.
+    pub fn is_recording(&self) -> bool {
+        self.slot.is_some()
+    }
+
+    /// Adds `value` to `counter` (gauges take the max).
+    #[inline]
+    pub fn add(&self, counter: Counter, value: u64) {
+        if let Some(slot) = &self.slot {
+            let cell = &slot.counts[counter.index()];
+            if counter.is_gauge() {
+                cell.fetch_max(value, Ordering::Relaxed);
+            } else {
+                cell.fetch_add(value, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Folds a whole [`MetricSet`] into the slot.
+    pub fn add_set(&self, metrics: &MetricSet) {
+        if self.slot.is_some() {
+            for (c, v) in metrics.iter() {
+                self.add(c, v);
+            }
+        }
+    }
+}
+
+/// The kind of work a [`Span`] brackets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A whole verification run (one instruction, all cases).
+    Run,
+    /// One case of the paper's case split.
+    Case,
+    /// One engine attempt within a case's escalation ladder.
+    Stage,
+    /// A sub-operation (harness build, constraint generation, replay, …).
+    Op,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Run => "run",
+            SpanKind::Case => "case",
+            SpanKind::Stage => "stage",
+            SpanKind::Op => "op",
+        }
+    }
+
+    /// Inverse of [`SpanKind::name`].
+    pub fn from_name(name: &str) -> Option<SpanKind> {
+        match name {
+            "run" => Some(SpanKind::Run),
+            "case" => Some(SpanKind::Case),
+            "stage" => Some(SpanKind::Stage),
+            "op" => Some(SpanKind::Op),
+            _ => None,
+        }
+    }
+}
+
+/// One telemetry event in the JSONL stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A span opened.
+    SpanStart {
+        /// Span ID (unique within the tracer, starting at 1).
+        id: u64,
+        /// Parent span ID, if any.
+        parent: Option<u64>,
+        /// What kind of work this brackets.
+        kind: SpanKind,
+        /// Human-readable name (e.g. the case ID).
+        name: String,
+        /// Time since the tracer's epoch.
+        t: Duration,
+    },
+    /// A span closed (carries the payload: duration, metrics, fields).
+    SpanEnd {
+        /// Span ID matching the corresponding start event.
+        id: u64,
+        /// Parent span ID, if any (repeated so consumers need not join).
+        parent: Option<u64>,
+        /// What kind of work this brackets.
+        kind: SpanKind,
+        /// Human-readable name.
+        name: String,
+        /// Time since the tracer's epoch at close.
+        t: Duration,
+        /// Wall time between open and close.
+        dur: Duration,
+        /// Counters recorded on this span.
+        metrics: MetricSet,
+        /// Free-form annotations (verdict, engine, …).
+        fields: Vec<(String, JsonValue)>,
+    },
+    /// Registry totals, emitted at the end of a run.
+    Totals {
+        /// Time since the tracer's epoch.
+        t: Duration,
+        /// Summed counters across all thread slots.
+        metrics: MetricSet,
+        /// Number of thread slots that contributed.
+        threads: usize,
+    },
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> JsonValue {
+        fn secs(d: &Duration) -> JsonValue {
+            JsonValue::Number(d.as_secs_f64())
+        }
+        match self {
+            TraceEvent::SpanStart {
+                id,
+                parent,
+                kind,
+                name,
+                t,
+            } => JsonValue::object(vec![
+                ("type", JsonValue::string("span_start")),
+                ("id", JsonValue::int(*id)),
+                ("parent", JsonValue::opt(*parent, JsonValue::int)),
+                ("kind", JsonValue::string(kind.name())),
+                ("name", JsonValue::string(name.clone())),
+                ("t", secs(t)),
+            ]),
+            TraceEvent::SpanEnd {
+                id,
+                parent,
+                kind,
+                name,
+                t,
+                dur,
+                metrics,
+                fields,
+            } => {
+                let mut obj = vec![
+                    ("type".to_string(), JsonValue::string("span_end")),
+                    ("id".to_string(), JsonValue::int(*id)),
+                    (
+                        "parent".to_string(),
+                        JsonValue::opt(*parent, JsonValue::int),
+                    ),
+                    ("kind".to_string(), JsonValue::string(kind.name())),
+                    ("name".to_string(), JsonValue::string(name.clone())),
+                    ("t".to_string(), secs(t)),
+                    ("dur".to_string(), secs(dur)),
+                    ("metrics".to_string(), metrics.to_json()),
+                ];
+                for (k, v) in fields {
+                    obj.push((k.clone(), v.clone()));
+                }
+                JsonValue::Object(obj)
+            }
+            TraceEvent::Totals {
+                t,
+                metrics,
+                threads,
+            } => JsonValue::object(vec![
+                ("type", JsonValue::string("totals")),
+                ("t", secs(t)),
+                ("threads", JsonValue::int(*threads as u64)),
+                ("metrics", metrics.to_json()),
+            ]),
+        }
+    }
+}
+
+impl TraceEvent {
+    /// Parses one JSONL line back into an event.
+    pub fn from_json(value: &JsonValue) -> Result<TraceEvent, Error> {
+        let schema = |message: &str| Error::TraceSchema {
+            message: message.to_string(),
+        };
+        let ty = value
+            .get("type")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| schema("missing \"type\""))?;
+        let dur_field = |key: &str| -> Result<Duration, Error> {
+            value
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .filter(|s| *s >= 0.0 && s.is_finite())
+                .map(Duration::from_secs_f64)
+                .ok_or_else(|| schema(&format!("missing or invalid \"{key}\"")))
+        };
+        match ty {
+            "span_start" | "span_end" => {
+                let id = value
+                    .get("id")
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| schema("missing \"id\""))?;
+                let parent = value.get("parent").and_then(|v| v.as_u64());
+                let kind = value
+                    .get("kind")
+                    .and_then(|v| v.as_str())
+                    .and_then(SpanKind::from_name)
+                    .ok_or_else(|| schema("missing or unknown \"kind\""))?;
+                let name = value
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| schema("missing \"name\""))?
+                    .to_string();
+                let t = dur_field("t")?;
+                if ty == "span_start" {
+                    return Ok(TraceEvent::SpanStart {
+                        id,
+                        parent,
+                        kind,
+                        name,
+                        t,
+                    });
+                }
+                let dur = dur_field("dur")?;
+                let metrics = value
+                    .get("metrics")
+                    .map(MetricSet::from_json)
+                    .unwrap_or_default();
+                const KNOWN: [&str; 8] = [
+                    "type", "id", "parent", "kind", "name", "t", "dur", "metrics",
+                ];
+                let fields = value
+                    .as_object()
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter(|(k, _)| !KNOWN.contains(&k.as_str()))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                Ok(TraceEvent::SpanEnd {
+                    id,
+                    parent,
+                    kind,
+                    name,
+                    t,
+                    dur,
+                    metrics,
+                    fields,
+                })
+            }
+            "totals" => Ok(TraceEvent::Totals {
+                t: dur_field("t")?,
+                metrics: value
+                    .get("metrics")
+                    .map(MetricSet::from_json)
+                    .unwrap_or_default(),
+                threads: value.get("threads").and_then(|v| v.as_u64()).unwrap_or(0) as usize,
+            }),
+            other => Err(schema(&format!("unknown event type {other:?}"))),
+        }
+    }
+}
+
+/// Where trace events go.
+///
+/// Sinks must tolerate concurrent `record` calls: scheduler workers close
+/// case spans from their own threads.
+pub trait TraceSink: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: &TraceEvent);
+    /// Flushes buffered output (called at the end of a run).
+    fn flush(&self) {}
+}
+
+/// Streams events as one compact JSON object per line.
+pub struct JsonlSink<W: std::io::Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: std::io::Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl<W: std::io::Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        let mut line = event.to_json().render();
+        line.push('\n');
+        // Telemetry must never take down a verification run: I/O errors on
+        // the sink are dropped.
+        let _ = self.writer.lock().unwrap().write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+/// Buffers events in memory; useful in tests and for post-run summaries
+/// without touching the filesystem.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Renders the buffered events as a JSONL document.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events.lock().unwrap().iter() {
+            out.push_str(&ev.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: &TraceEvent) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+struct TracerInner {
+    sink: Box<dyn TraceSink>,
+    epoch: Instant,
+    next_id: AtomicU64,
+    registry: MetricsRegistry,
+}
+
+/// Handle to the telemetry pipeline; cheap to clone, `None` inside when
+/// disabled so every operation short-circuits on one branch.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer (this is also `Default`).
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer feeding the given sink.
+    pub fn new(sink: impl TraceSink + 'static) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                sink: Box::new(sink),
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                registry: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    /// A tracer writing JSONL to an arbitrary writer.
+    pub fn to_jsonl_writer(writer: impl std::io::Write + Send + 'static) -> Tracer {
+        Tracer::new(JsonlSink::new(writer))
+    }
+
+    /// A tracer writing JSONL to a file (created/truncated), buffered.
+    pub fn to_jsonl_file(path: impl AsRef<std::path::Path>) -> Result<Tracer, Error> {
+        let path = path.as_ref();
+        let file =
+            std::fs::File::create(path).map_err(|e| Error::io(path.display().to_string(), &e))?;
+        Ok(Tracer::to_jsonl_writer(std::io::BufWriter::new(file)))
+    }
+
+    /// A tracer buffering into memory, returning the sink for inspection.
+    pub fn in_memory() -> (Tracer, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer {
+            inner: Some(Arc::new(TracerInner {
+                sink: Box::new(SharedSink(Arc::clone(&sink))),
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                registry: MetricsRegistry::new(),
+            })),
+        };
+        (tracer, sink)
+    }
+
+    /// True if events are actually collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers a per-thread counter slot ([`MetricsHandle::noop`] when
+    /// disabled).
+    pub fn handle(&self) -> MetricsHandle {
+        match &self.inner {
+            Some(inner) => inner.registry.register(),
+            None => MetricsHandle::noop(),
+        }
+    }
+
+    /// Current counter totals across all registered threads.
+    pub fn totals(&self) -> MetricSet {
+        match &self.inner {
+            Some(inner) => inner.registry.totals(),
+            None => MetricSet::new(),
+        }
+    }
+
+    /// Opens a root span. The name closure only runs when enabled.
+    pub fn span(&self, kind: SpanKind, name: impl FnOnce() -> String) -> Span {
+        self.span_child(None, kind, name)
+    }
+
+    /// Opens a span under an explicit parent ID (use [`Span::id`] from
+    /// another thread; `None` makes a root span).
+    pub fn span_child(
+        &self,
+        parent: Option<u64>,
+        kind: SpanKind,
+        name: impl FnOnce() -> String,
+    ) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                tracer: Tracer::disabled(),
+                id: 0,
+                parent: None,
+                kind,
+                name: String::new(),
+                start: None,
+                metrics: MetricSet::new(),
+                fields: Vec::new(),
+            };
+        };
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let name = name();
+        let start = Instant::now();
+        inner.sink.record(&TraceEvent::SpanStart {
+            id,
+            parent,
+            kind,
+            name: name.clone(),
+            t: start.duration_since(inner.epoch),
+        });
+        Span {
+            tracer: self.clone(),
+            id,
+            parent,
+            kind,
+            name,
+            start: Some(start),
+            metrics: MetricSet::new(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Emits a [`TraceEvent::Totals`] snapshot of the registry.
+    pub fn emit_totals(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.record(&TraceEvent::Totals {
+                t: inner.epoch.elapsed(),
+                metrics: inner.registry.totals(),
+                threads: inner.registry.threads(),
+            });
+        }
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+/// Adapter so an `Arc`-shared sink can back a tracer.
+struct SharedSink(Arc<MemorySink>);
+
+impl TraceSink for SharedSink {
+    fn record(&self, event: &TraceEvent) {
+        self.0.record(event);
+    }
+    fn flush(&self) {
+        TraceSink::flush(&*self.0);
+    }
+}
+
+/// An open span; emits a [`TraceEvent::SpanEnd`] with its duration, metrics
+/// and fields when dropped. All methods are no-ops on a disabled tracer.
+pub struct Span {
+    tracer: Tracer,
+    id: u64,
+    parent: Option<u64>,
+    kind: SpanKind,
+    name: String,
+    start: Option<Instant>,
+    metrics: MetricSet,
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl Span {
+    /// The span ID (0 when disabled); pass to [`Tracer::span_child`] to
+    /// parent work on another thread.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The span ID if recording, for plumbing as an optional parent.
+    pub fn parent_id(&self) -> Option<u64> {
+        self.start.map(|_| self.id)
+    }
+
+    /// True if this span will emit an end event.
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Opens a child span on the same thread.
+    pub fn child(&self, kind: SpanKind, name: impl FnOnce() -> String) -> Span {
+        self.tracer.span_child(self.parent_id(), kind, name)
+    }
+
+    /// Records a counter value on this span (gauges take the max).
+    pub fn record(&mut self, counter: Counter, value: u64) {
+        if self.start.is_some() {
+            self.metrics.add(counter, value);
+        }
+    }
+
+    /// Folds a [`MetricSet`] into this span's metrics.
+    pub fn record_set(&mut self, metrics: &MetricSet) {
+        if self.start.is_some() {
+            self.metrics.merge(metrics);
+        }
+    }
+
+    /// Attaches a free-form annotation emitted on the end event.
+    pub fn field(&mut self, key: &str, value: JsonValue) {
+        if self.start.is_some() {
+            self.fields.push((key.to_string(), value));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let (Some(start), Some(inner)) = (self.start, &self.tracer.inner) else {
+            return;
+        };
+        let now = Instant::now();
+        inner.sink.record(&TraceEvent::SpanEnd {
+            id: self.id,
+            parent: self.parent,
+            kind: self.kind,
+            name: std::mem::take(&mut self.name),
+            t: now.duration_since(inner.epoch),
+            dur: now.duration_since(start),
+            metrics: std::mem::take(&mut self.metrics),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+pub mod summary {
+    //! Folds a JSONL trace stream into per-case and per-engine tables —
+    //! the telemetry-side reproduction of the paper's Table 1 columns
+    //! (case, BDD nodes, conflicts, CPU time).
+
+    use super::*;
+
+    /// One row per closed `case` span.
+    #[derive(Clone, Debug)]
+    pub struct CaseRow {
+        /// Case name (the `CaseId` debug form, e.g. `"FarOut"`).
+        pub name: String,
+        /// Name of the engine that produced the final verdict.
+        pub engine: String,
+        /// Final verdict string (`"holds"`, `"fails"`, …).
+        pub verdict: String,
+        /// Peak live BDD nodes across the case's attempts.
+        pub peak_bdd_nodes: Option<u64>,
+        /// SAT conflicts accumulated across the case's attempts.
+        pub sat_conflicts: Option<u64>,
+        /// Engine attempts (1 = no escalation).
+        pub attempts: u64,
+        /// Wall time spent on the case.
+        pub wall: Duration,
+        /// Time the case sat queued before a worker picked it up.
+        pub queue_latency: Duration,
+        /// Whether a worker stole the case from a neighbour's queue.
+        pub stolen: bool,
+    }
+
+    /// Aggregate effort per engine, folded from `stage` spans.
+    #[derive(Clone, Debug)]
+    pub struct EngineRow {
+        /// Engine name (e.g. `"bdd"`, `"sat"`).
+        pub name: String,
+        /// Number of attempts this engine ran.
+        pub attempts: usize,
+        /// Total wall time across attempts.
+        pub wall: Duration,
+        /// Summed counters across attempts.
+        pub metrics: MetricSet,
+    }
+
+    /// The folded view of one JSONL trace stream.
+    #[derive(Clone, Debug, Default)]
+    pub struct TraceSummary {
+        /// Name of the run span, if one closed in the stream.
+        pub run_name: Option<String>,
+        /// Wall time of the run span.
+        pub run_wall: Option<Duration>,
+        /// Per-case rows in stream (completion) order.
+        pub cases: Vec<CaseRow>,
+        /// Per-engine aggregates, sorted by name.
+        pub engines: Vec<EngineRow>,
+        /// Registry totals from the final `totals` event.
+        pub totals: MetricSet,
+        /// Thread slots that contributed to `totals`.
+        pub threads: usize,
+    }
+
+    /// Parses a JSONL stream (one event per line, blank lines ignored) and
+    /// folds it into a [`TraceSummary`].
+    pub fn summarize_jsonl(text: &str) -> Result<TraceSummary, Error> {
+        let mut events = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            events.push(TraceEvent::from_json(&JsonValue::parse(line)?)?);
+        }
+        Ok(summarize(&events))
+    }
+
+    /// Folds already-parsed events (e.g. from a [`MemorySink`]).
+    pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
+        let mut out = TraceSummary::default();
+        for ev in events {
+            match ev {
+                TraceEvent::SpanEnd {
+                    kind: SpanKind::Run,
+                    name,
+                    dur,
+                    ..
+                } => {
+                    out.run_name = Some(name.clone());
+                    out.run_wall = Some(*dur);
+                }
+                TraceEvent::SpanEnd {
+                    kind: SpanKind::Case,
+                    name,
+                    dur,
+                    metrics,
+                    fields,
+                    ..
+                } => {
+                    let field = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+                    let peak = metrics.get(Counter::BddPeakLiveNodes);
+                    let conflicts = metrics.get(Counter::SatConflicts);
+                    out.cases.push(CaseRow {
+                        name: name.clone(),
+                        engine: field("engine")
+                            .and_then(|v| v.as_str())
+                            .unwrap_or("?")
+                            .to_string(),
+                        verdict: field("verdict")
+                            .and_then(|v| v.as_str())
+                            .unwrap_or("?")
+                            .to_string(),
+                        peak_bdd_nodes: (peak > 0).then_some(peak),
+                        sat_conflicts: (conflicts > 0).then_some(conflicts),
+                        attempts: field("attempts").and_then(|v| v.as_u64()).unwrap_or(1),
+                        wall: *dur,
+                        queue_latency: Duration::from_micros(
+                            metrics.get(Counter::SchedQueueLatencyMicros),
+                        ),
+                        stolen: metrics.get(Counter::SchedSteals) > 0,
+                    });
+                }
+                TraceEvent::SpanEnd {
+                    kind: SpanKind::Stage,
+                    name,
+                    dur,
+                    metrics,
+                    ..
+                } => {
+                    let idx = out
+                        .engines
+                        .iter()
+                        .position(|r| r.name == *name)
+                        .unwrap_or_else(|| {
+                            out.engines.push(EngineRow {
+                                name: name.clone(),
+                                attempts: 0,
+                                wall: Duration::ZERO,
+                                metrics: MetricSet::new(),
+                            });
+                            out.engines.len() - 1
+                        });
+                    let row = &mut out.engines[idx];
+                    row.attempts += 1;
+                    row.wall += *dur;
+                    row.metrics.merge(metrics);
+                }
+                TraceEvent::Totals {
+                    metrics, threads, ..
+                } => {
+                    out.totals = metrics.clone();
+                    out.threads = *threads;
+                }
+                _ => {}
+            }
+        }
+        out.engines.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    impl TraceSummary {
+        /// Renders the summary as aligned text tables (per-case, then
+        /// per-engine) in the spirit of the paper's Table 1.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            if let Some(name) = &self.run_name {
+                out.push_str(&format!(
+                    "run {name}  wall {:.3}s  threads {}\n\n",
+                    self.run_wall.unwrap_or_default().as_secs_f64(),
+                    self.threads
+                ));
+            }
+            out.push_str(&format!(
+                "{:<22} {:>8} {:>10} {:>10} {:>9} {:>9} {:>7}  {}\n",
+                "case", "verdict", "bdd-nodes", "conflicts", "time", "queued", "stolen", "engine"
+            ));
+            for c in &self.cases {
+                out.push_str(&format!(
+                    "{:<22} {:>8} {:>10} {:>10} {:>8.3}s {:>8.3}s {:>7}  {}\n",
+                    c.name,
+                    c.verdict,
+                    c.peak_bdd_nodes
+                        .map(|n| n.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    c.sat_conflicts
+                        .map(|n| n.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    c.wall.as_secs_f64(),
+                    c.queue_latency.as_secs_f64(),
+                    if c.stolen { "yes" } else { "no" },
+                    c.engine,
+                ));
+            }
+            if !self.engines.is_empty() {
+                out.push('\n');
+                out.push_str(&format!(
+                    "{:<12} {:>8} {:>10}  {}\n",
+                    "engine", "attempts", "time", "counters"
+                ));
+                for e in &self.engines {
+                    let counters = e
+                        .metrics
+                        .iter()
+                        .map(|(c, v)| format!("{}={v}", c.name()))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    out.push_str(&format!(
+                        "{:<12} {:>8} {:>9.3}s  {}\n",
+                        e.name,
+                        e.attempts,
+                        e.wall.as_secs_f64(),
+                        counters
+                    ));
+                }
+            }
+            out
+        }
+
+        /// Machine-readable form of the summary.
+        pub fn to_json(&self) -> JsonValue {
+            JsonValue::object(vec![
+                (
+                    "schema_version",
+                    JsonValue::int(crate::json::SCHEMA_VERSION),
+                ),
+                (
+                    "run",
+                    JsonValue::opt(self.run_name.as_deref(), JsonValue::string),
+                ),
+                (
+                    "run_wall_seconds",
+                    JsonValue::opt(self.run_wall, |d| JsonValue::Number(d.as_secs_f64())),
+                ),
+                ("threads", JsonValue::int(self.threads as u64)),
+                (
+                    "cases",
+                    JsonValue::Array(
+                        self.cases
+                            .iter()
+                            .map(|c| {
+                                JsonValue::object(vec![
+                                    ("case", JsonValue::string(c.name.clone())),
+                                    ("engine", JsonValue::string(c.engine.clone())),
+                                    ("verdict", JsonValue::string(c.verdict.clone())),
+                                    (
+                                        "peak_bdd_nodes",
+                                        JsonValue::opt(c.peak_bdd_nodes, JsonValue::int),
+                                    ),
+                                    (
+                                        "sat_conflicts",
+                                        JsonValue::opt(c.sat_conflicts, JsonValue::int),
+                                    ),
+                                    ("attempts", JsonValue::int(c.attempts)),
+                                    ("wall_seconds", JsonValue::Number(c.wall.as_secs_f64())),
+                                    (
+                                        "queue_latency_seconds",
+                                        JsonValue::Number(c.queue_latency.as_secs_f64()),
+                                    ),
+                                    ("stolen", JsonValue::Bool(c.stolen)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "engines",
+                    JsonValue::Array(
+                        self.engines
+                            .iter()
+                            .map(|e| {
+                                JsonValue::object(vec![
+                                    ("engine", JsonValue::string(e.name.clone())),
+                                    ("attempts", JsonValue::int(e.attempts as u64)),
+                                    ("wall_seconds", JsonValue::Number(e.wall.as_secs_f64())),
+                                    ("counters", e.metrics.to_json()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("totals", self.totals.to_json()),
+            ])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_set_add_get_merge() {
+        let mut m = MetricSet::new();
+        m.add(Counter::SatConflicts, 5);
+        m.add(Counter::SatConflicts, 7);
+        m.add(Counter::BddPeakLiveNodes, 100);
+        m.add(Counter::BddPeakLiveNodes, 40);
+        assert_eq!(m.get(Counter::SatConflicts), 12);
+        assert_eq!(m.get(Counter::BddPeakLiveNodes), 100, "gauge takes max");
+        assert_eq!(m.get(Counter::SatDecisions), 0);
+
+        let mut other = MetricSet::new();
+        other.add(Counter::SatConflicts, 1);
+        other.add(Counter::BddPeakLiveNodes, 250);
+        m.merge(&other);
+        assert_eq!(m.get(Counter::SatConflicts), 13);
+        assert_eq!(m.get(Counter::BddPeakLiveNodes), 250);
+    }
+
+    #[test]
+    fn counter_names_round_trip() {
+        for c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Counter::from_name("nope"), None);
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let mut ran = false;
+        let mut span = tracer.span(SpanKind::Run, || {
+            ran = true;
+            "never".into()
+        });
+        assert!(!ran, "name closure must not run when disabled");
+        assert_eq!(span.id(), 0);
+        span.record(Counter::SatConflicts, 99);
+        drop(span);
+        assert!(tracer.totals().is_empty());
+        let handle = tracer.handle();
+        assert!(!handle.is_recording());
+        handle.add(Counter::SatConflicts, 3);
+        assert!(tracer.totals().is_empty());
+    }
+
+    #[test]
+    fn span_events_nest_by_parent_id() {
+        let (tracer, sink) = Tracer::in_memory();
+        {
+            let run = tracer.span(SpanKind::Run, || "run".into());
+            let case = run.child(SpanKind::Case, || "case-a".into());
+            let mut stage = case.child(SpanKind::Stage, || "bdd".into());
+            stage.record(Counter::BddIteCalls, 10);
+            stage.field("verdict", JsonValue::string("holds"));
+        }
+        let events = sink.events();
+        let ids: Vec<(u64, Option<u64>)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SpanStart { id, parent, .. } => Some((*id, *parent)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![(1, None), (2, Some(1)), (3, Some(2))]);
+        // Drops happen innermost-first.
+        let end_names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SpanEnd { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(end_names, vec!["bdd", "case-a", "run"]);
+    }
+
+    #[test]
+    fn registry_sums_across_threads() {
+        let registry = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for i in 0..4u64 {
+                let handle = registry.register();
+                scope.spawn(move || {
+                    handle.add(Counter::SatConflicts, i + 1);
+                    handle.add(Counter::BddPeakLiveNodes, 10 * (i + 1));
+                });
+            }
+        });
+        let totals = registry.totals();
+        assert_eq!(totals.get(Counter::SatConflicts), 1 + 2 + 3 + 4);
+        assert_eq!(totals.get(Counter::BddPeakLiveNodes), 40, "gauge max");
+        assert_eq!(registry.threads(), 4);
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let (tracer, sink) = Tracer::in_memory();
+        {
+            let mut run = tracer.span(SpanKind::Run, || "verify:Fma".into());
+            run.field("op", JsonValue::string("Fma"));
+            let handle = tracer.handle();
+            handle.add(Counter::SatConflicts, 17);
+            let mut case = run.child(SpanKind::Case, || "FarOut".into());
+            case.record(Counter::SatConflicts, 17);
+            case.field("verdict", JsonValue::string("holds"));
+            case.field("engine", JsonValue::string("sat"));
+            drop(case);
+            tracer.emit_totals();
+        }
+        let text = sink.to_jsonl();
+        let reparsed: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::from_json(&JsonValue::parse(l).unwrap()).unwrap())
+            .collect();
+        assert_eq!(reparsed, sink.events());
+        let s = summary::summarize_jsonl(&text).unwrap();
+        assert_eq!(s.cases.len(), 1);
+        assert_eq!(s.cases[0].name, "FarOut");
+        assert_eq!(s.cases[0].sat_conflicts, Some(17));
+        assert_eq!(s.totals.get(Counter::SatConflicts), 17);
+        assert!(s.render().contains("FarOut"));
+    }
+}

@@ -5,10 +5,9 @@
 use std::collections::HashMap;
 
 use fmaverify::{
-    build_harness, enumerate_cases, run_case_ladder, run_cases_with_policy, verify_instruction,
-    BddCaseEngine, CancellationToken, CaseEngine, CaseId, EngineBudget, EngineKind, EngineOutcome,
-    EngineStage, EngineStats, EngineVerdict, HarnessOptions, RunOptions, SatCaseEngine,
-    SchedulePolicy, Verdict,
+    build_harness, enumerate_cases, run_case_ladder, BddCaseEngine, CancellationToken, CaseEngine,
+    CaseId, EngineBudget, EngineKind, EngineOutcome, EngineStage, EngineStats, EngineVerdict,
+    Error, HarnessOptions, SatCaseEngine, SchedulePolicy, Session, Verdict,
 };
 use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
 use fmaverify_netlist::Signal;
@@ -62,12 +61,13 @@ fn bdd_and_sat_agree_on_the_same_case_through_the_trait() {
 #[test]
 fn tiny_budget_reports_budget_exceeded_without_escalation() {
     let cfg = tiny();
-    let options = RunOptions {
-        node_budget: Some(16),
-        escalate: false,
-        ..RunOptions::default()
-    };
-    let report = verify_instruction(&cfg, FpuOp::Fma, &options);
+    let report = Session::new(&cfg)
+        .budget(EngineBudget {
+            node_limit: Some(16),
+            conflict_limit: None,
+        })
+        .escalate(false)
+        .run(FpuOp::Fma);
     let exceeded = report
         .results
         .iter()
@@ -83,20 +83,18 @@ fn tiny_budget_reports_budget_exceeded_without_escalation() {
 fn escalation_recovers_every_budget_exceeded_case_with_unchanged_verdicts() {
     let cfg = tiny();
     let op = FpuOp::Fma;
-    let baseline = verify_instruction(&cfg, op, &RunOptions::default());
+    let baseline = Session::new(&cfg).run(op);
     assert!(baseline.all_hold());
 
     // Same sweep with a per-case BDD budget far too small: every overlap
     // case exceeds it, escalates to swept SAT, and still proves.
-    let budgeted = verify_instruction(
-        &cfg,
-        op,
-        &RunOptions {
-            node_budget: Some(16),
-            escalate: true,
-            ..RunOptions::default()
-        },
-    );
+    let budgeted = Session::new(&cfg)
+        .budget(EngineBudget {
+            node_limit: Some(16),
+            conflict_limit: None,
+        })
+        .escalate(true)
+        .run(op);
     assert!(budgeted.all_hold(), "{:?}", budgeted.first_failure());
     assert!(budgeted.escalated_cases() > 0, "no case escalated");
     assert_eq!(baseline.results.len(), budgeted.results.len());
@@ -123,14 +121,7 @@ fn result_order_is_deterministic_across_thread_counts() {
     let op = FpuOp::Add;
     let expected: Vec<CaseId> = enumerate_cases(&cfg, op);
     for threads in [1, 3] {
-        let report = verify_instruction(
-            &cfg,
-            op,
-            &RunOptions {
-                threads,
-                ..RunOptions::default()
-            },
-        );
+        let report = Session::new(&cfg).threads(threads).run(op);
         let got: Vec<CaseId> = report.results.iter().map(|r| r.case).collect();
         assert_eq!(got, expected, "order differs at {threads} threads");
     }
@@ -141,14 +132,7 @@ fn pre_canceled_token_skips_every_case() {
     let cfg = tiny();
     let cancel = CancellationToken::new();
     cancel.cancel();
-    let report = verify_instruction(
-        &cfg,
-        FpuOp::Fma,
-        &RunOptions {
-            cancel,
-            ..RunOptions::default()
-        },
-    );
+    let report = Session::new(&cfg).cancel(cancel).run(FpuOp::Fma);
     assert!(!report.results.is_empty());
     assert!(report
         .results
@@ -206,13 +190,12 @@ fn stop_on_failure_cancels_the_remaining_cases() {
         farout: vec![unlimited(std::sync::Arc::new(AlwaysFails))],
     };
     let cancel = CancellationToken::new();
-    let options = RunOptions {
-        threads: 1,
-        stop_on_failure: true,
-        cancel: cancel.clone(),
-        ..RunOptions::default()
-    };
-    let results = run_cases_with_policy(&h, op, &constraints, &options, &policy);
+    let results = Session::new(&cfg)
+        .threads(1)
+        .stop_on_failure(true)
+        .cancel(cancel.clone())
+        .policy(policy)
+        .run_prepared(&h, op, &constraints);
 
     assert!(cancel.is_canceled(), "a failure must trip the token");
     assert_eq!(results[0].verdict, Verdict::Fails);
@@ -279,5 +262,14 @@ fn errors_escalate_to_the_next_rung() {
         &[unlimited(std::sync::Arc::new(Panics))],
     );
     assert_eq!(result.verdict, Verdict::Error);
-    assert!(result.error.as_deref().unwrap_or("").contains("deliberate"));
+    match result.error.as_ref().expect("typed error") {
+        Error::EnginePanic { engine, message } => {
+            assert_eq!(*engine, "mock/panics");
+            assert!(message.contains("deliberate"));
+        }
+        other => panic!("expected EnginePanic, got {other:?}"),
+    }
+    // The ladder folds the panic into one error attempt with zero stats.
+    assert_eq!(result.attempts.len(), 1);
+    assert_eq!(result.attempts[0].verdict, Verdict::Error);
 }

@@ -55,6 +55,10 @@ pub struct SweepResult {
     pub sat_calls: usize,
     /// Number of queries that exhausted the conflict budget.
     pub timeouts: usize,
+    /// Total simulation rounds run: the seeding rounds from
+    /// [`SweepOptions::sim_rounds`] plus one round per counterexample
+    /// refinement.
+    pub sim_rounds: usize,
     /// AND-gate count before/after.
     pub ands_before: usize,
     /// AND-gate count after rebuilding.
@@ -254,6 +258,7 @@ fn netlist_sweep_impl(netlist: &Netlist, roots: &[Signal], opts: SweepOptions) -
         merged,
         sat_calls,
         timeouts,
+        sim_rounds: opts.sim_rounds + refinements,
         ands_after,
     }
 }

@@ -6,10 +6,7 @@
 //!
 //! Run with: `cargo run --release -p fmaverify --example portability_port`
 
-use fmaverify::{
-    derive_st_constants_for, prove_multiplier_soundness_for, verify_instruction, HarnessOptions,
-    RunOptions,
-};
+use fmaverify::{derive_st_constants_for, prove_multiplier_soundness_for, HarnessOptions, Session};
 use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp, MultiplierMode};
 use fmaverify_softfloat::FpFormat;
 
@@ -23,7 +20,7 @@ fn main() {
     // The implementation-independent part: verify the isolated pair once.
     // (Both implementation variants consume S'/T' identically, so this
     // artifact is shared between them.)
-    let report = verify_instruction(&cfg, FpuOp::Fma, &RunOptions::default());
+    let report = Session::new(&cfg).run(FpuOp::Fma);
     println!(
         "shared isolated verification: {} cases, all hold: {}\n",
         report.results.len(),

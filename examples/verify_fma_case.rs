@@ -8,7 +8,7 @@
 //! * `FMAVERIFY_OP` — `fma` (default), `fms`, `add`, or `mul`;
 //! * `FMAVERIFY_FULL_IEEE=1` — honor denormal operands (§6 mode).
 
-use fmaverify::{render_table1, summarize, table1_rows, verify_instruction, RunOptions};
+use fmaverify::{render_table1, summarize, table1_rows, Session};
 use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
 use fmaverify_softfloat::FpFormat;
 
@@ -38,7 +38,7 @@ fn main() {
         denormals,
     };
     println!("verifying {op:?} at ({exp},{frac}), {denormals:?}, multiplier isolated\n");
-    let report = verify_instruction(&cfg, op, &RunOptions::default());
+    let report = Session::new(&cfg).run(op);
     println!("{}", summarize(&report));
     println!();
     println!(

@@ -4,8 +4,8 @@
 //! and its soundness obligation, and the case split is proven complete.
 
 use fmaverify::{
-    enumerate_cases, prove_completeness, prove_multiplier_soundness, verify_instruction,
-    EngineKind, HarnessOptions, RunOptions,
+    enumerate_cases, prove_completeness, prove_multiplier_soundness, EngineKind, HarnessOptions,
+    Session,
 };
 use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
 use fmaverify_softfloat::FpFormat;
@@ -21,7 +21,7 @@ fn tiny(denormals: DenormalMode) -> FpuConfig {
 fn all_instructions_verify_flush_to_zero() {
     let cfg = tiny(DenormalMode::FlushToZero);
     for op in FpuOp::ALL {
-        let report = verify_instruction(&cfg, op, &RunOptions::default());
+        let report = Session::new(&cfg).run(op);
         assert!(
             report.all_hold(),
             "{op:?} failed: {:?}",
@@ -49,7 +49,7 @@ fn all_instructions_verify_full_ieee() {
     // count grows quadratically but each case stays tractable.
     let cfg = tiny(DenormalMode::FullIeee);
     for op in [FpuOp::Fma, FpuOp::Add, FpuOp::Mul] {
-        let report = verify_instruction(&cfg, op, &RunOptions::default());
+        let report = Session::new(&cfg).run(op);
         assert!(
             report.all_hold(),
             "{op:?} failed: {:?}",
@@ -64,7 +64,7 @@ fn fma_verifies_at_micro_format() {
         format: FpFormat::MICRO,
         denormals: DenormalMode::FlushToZero,
     };
-    let report = verify_instruction(&cfg, FpuOp::Fma, &RunOptions::default());
+    let report = Session::new(&cfg).run(FpuOp::Fma);
     assert!(report.all_hold(), "{:?}", report.first_failure());
     // BDD statistics were recorded for the overlap cases.
     assert!(report
@@ -98,14 +98,12 @@ fn verification_without_isolation_also_passes_for_add() {
     // cone of influence: the constant 1.0 operand lets constant propagation
     // collapse the multiplier.
     let cfg = tiny(DenormalMode::FlushToZero);
-    let options = RunOptions {
-        harness: HarnessOptions {
+    let report = Session::new(&cfg)
+        .harness_options(HarnessOptions {
             isolate_multiplier: false,
             ..HarnessOptions::default()
-        },
-        ..RunOptions::default()
-    };
-    let report = verify_instruction(&cfg, FpuOp::Add, &options);
+        })
+        .run(FpuOp::Add);
     assert!(report.all_hold(), "{:?}", report.first_failure());
 }
 
