@@ -10,7 +10,7 @@
 //! the add instruction end to end without isolation.
 
 use fmaverify::{summarize, HarnessOptions, Session, ToJson};
-use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json, tracer_from_env};
+use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json, run_config_from_env};
 use fmaverify_fpu::{FpuInputs, FpuOp, MultiplierMode, PipelineMode};
 use fmaverify_netlist::{sat_sweep, Netlist, SweepOptions};
 
@@ -94,7 +94,7 @@ fn main() {
 
     // End-to-end add verification without isolation.
     let report = Session::new(&cfg)
-        .tracer(tracer_from_env("add_constprop"))
+        .configure(run_config_from_env("add_constprop"))
         .harness_options(HarnessOptions {
             isolate_multiplier: false,
             ..HarnessOptions::default()

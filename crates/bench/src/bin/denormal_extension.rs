@@ -12,7 +12,7 @@
 //! and (c) run the full extended sweep at the benchmark format.
 
 use fmaverify::{enumerate_cases, summarize, Session, ToJson};
-use fmaverify_bench::{banner, compare, dur, env_u32, maybe_write_json, tracer_from_env};
+use fmaverify_bench::{banner, compare, dur, env_u32, maybe_write_json, run_config_from_env};
 use fmaverify_fpu::{DenormalMode, FpuConfig, FpuOp};
 use fmaverify_softfloat::{fma_with, FpClass, FpFormat, RoundingMode};
 
@@ -105,7 +105,7 @@ fn main() {
         cfg.format.exp_bits(),
         cfg.format.frac_bits()
     );
-    let session = Session::new(&cfg).tracer(tracer_from_env("denormal_extension"));
+    let session = Session::new(&cfg).configure(run_config_from_env("denormal_extension"));
     let mut reports = Vec::new();
     for op in [FpuOp::Fma, FpuOp::Add, FpuOp::Mul] {
         let report = session.run(op);

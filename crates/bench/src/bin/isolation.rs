@@ -10,11 +10,12 @@
 //! case with/without isolation, the soundness proof's cone and time, and
 //! the automatically derived hot-one rules.
 
+use fmaverify::RunConfig;
 use fmaverify::{
     build_harness, check_miter_bdd_parts, derive_st_constants, paper_order,
     prove_multiplier_soundness, BddEngineOptions, CaseId, HarnessOptions, ShaCase,
 };
-use fmaverify_bench::{banner, bench_config, compare, dur, env_u32};
+use fmaverify_bench::{banner, bench_config, compare, dur};
 use fmaverify_fpu::FpuOp;
 
 fn main() {
@@ -24,7 +25,7 @@ fn main() {
     );
     let cfg = bench_config();
     let f = cfg.format.frac_bits() as usize;
-    let node_limit = env_u32("FMAVERIFY_NODE_LIMIT", 40_000_000) as usize;
+    let node_limit = RunConfig::from_env().node_budget.unwrap_or(40_000_000);
 
     let isolated = build_harness(&cfg, HarnessOptions::default());
     let full = build_harness(

@@ -13,9 +13,9 @@
 
 use fmaverify::{
     build_harness, check_miter_bdd_parts, paper_order, BddEngineOptions, CaseId, HarnessOptions,
-    Minimize, ShaCase,
+    Minimize, RunConfig, ShaCase,
 };
-use fmaverify_bench::{banner, bench_config, compare, dur, env_u32};
+use fmaverify_bench::{banner, bench_config, compare, dur};
 use fmaverify_fpu::FpuOp;
 use std::time::Duration;
 
@@ -48,7 +48,7 @@ fn main() {
         .map(|&c| (c, h.case_constraint_parts(FpuOp::Fma, c)))
         .collect();
 
-    let node_limit = env_u32("FMAVERIFY_NODE_LIMIT", 6_000_000) as usize;
+    let node_limit = RunConfig::from_env().node_budget.unwrap_or(6_000_000);
     let mut rows = Vec::new();
     for minimize in [Minimize::Constrain, Minimize::Restrict, Minimize::None] {
         let mut total_time = Duration::ZERO;

@@ -10,7 +10,7 @@
 //! reference FPU."
 
 use fmaverify::{summarize, EngineKind, JsonValue, Session, ToJson};
-use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json, tracer_from_env};
+use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json, run_config_from_env};
 use fmaverify_fpu::FpuOp;
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
         "§5: multiply verified by one SAT run, no case split",
     );
     let cfg = bench_config();
-    let session = Session::new(&cfg).tracer(tracer_from_env("mult_sat"));
+    let session = Session::new(&cfg).configure(run_config_from_env("mult_sat"));
 
     // Without sweeping.
     let plain = session.run(FpuOp::Mul);

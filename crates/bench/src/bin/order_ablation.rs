@@ -13,9 +13,9 @@
 
 use fmaverify::{
     build_harness, check_miter_bdd_parts, naive_order, paper_order, BddEngineOptions, CaseId,
-    HarnessOptions, ShaCase,
+    HarnessOptions, RunConfig, ShaCase,
 };
-use fmaverify_bench::{banner, bench_config, compare, dur, env_u32};
+use fmaverify_bench::{banner, bench_config, compare, dur};
 use fmaverify_fpu::FpuOp;
 
 fn main() {
@@ -32,7 +32,7 @@ fn main() {
         sha: ShaCase::Exact(f + 2),
     };
     let parts = h.case_constraint_parts(FpuOp::Fma, case);
-    let node_limit = env_u32("FMAVERIFY_NODE_LIMIT", 1_500_000) as usize;
+    let node_limit = RunConfig::from_env().node_budget.unwrap_or(1_500_000);
 
     let static_run = check_miter_bdd_parts(
         &h.netlist,

@@ -10,7 +10,7 @@
 //! are shared verbatim; only the S'/T' rules are re-derived and re-proved.
 
 use fmaverify::{derive_st_constants_for, prove_multiplier_soundness_for, Session};
-use fmaverify_bench::{banner, bench_config, compare, dur, tracer_from_env};
+use fmaverify_bench::{banner, bench_config, compare, dur, run_config_from_env};
 use fmaverify_fpu::{FpuInputs, FpuOp, MultiplierMode, PipelineMode};
 use fmaverify_netlist::{BitSim, Netlist};
 use std::time::Instant;
@@ -26,7 +26,7 @@ fn main() {
     // implementation variant, because neither FPU contains a multiplier).
     let t = Instant::now();
     let report = Session::new(&cfg)
-        .tracer(tracer_from_env("portability"))
+        .configure(run_config_from_env("portability"))
         .run(FpuOp::Fma);
     let shared_time = t.elapsed();
     assert!(report.all_hold());

@@ -22,7 +22,7 @@
 //! the slowest single job.
 
 use fmaverify::{render_table1, summarize, table1_rows, JsonValue, Session, ToJson};
-use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json, tracer_from_env};
+use fmaverify_bench::{banner, bench_config, compare, dur, maybe_write_json, run_config_from_env};
 use fmaverify_fpu::FpuOp;
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
         "Table 1: BDD nodes and runtimes for the double-precision cases",
     );
     let cfg = bench_config();
-    let session = Session::new(&cfg).tracer(tracer_from_env("table1"));
+    let session = Session::new(&cfg).configure(run_config_from_env("table1"));
     let mut reports = Vec::new();
     for op in [FpuOp::Add, FpuOp::Mul, FpuOp::Fma] {
         let report = session.run(op);

@@ -144,6 +144,24 @@ pub fn tracer_from_env(experiment: &str) -> fmaverify::Tracer {
     tracer
 }
 
+/// The typed run configuration for one experiment: [`RunConfig::from_env`]
+/// (budgets, threads, escalation, proof-cache mode via `FMAVERIFY_CACHE`)
+/// with the experiment's tracer ([`tracer_from_env`]) attached — the one
+/// env/arg parser shared by every binary in this crate.
+///
+/// [`RunConfig::from_env`]: fmaverify::RunConfig::from_env
+pub fn run_config_from_env(experiment: &str) -> fmaverify::RunConfig {
+    let config = fmaverify::RunConfig::from_env().tracer(tracer_from_env(experiment));
+    if config.cache_mode.is_enabled() {
+        println!(
+            "cache:      {:?} at {}",
+            config.cache_mode,
+            config.cache_dir.display()
+        );
+    }
+    config
+}
+
 /// A paper-vs-measured comparison line for EXPERIMENTS.md.
 pub fn compare(label: &str, paper: &str, measured: &str, shape_holds: bool) {
     println!(

@@ -1,0 +1,244 @@
+//! The typed run configuration: every tuning knob in one struct.
+//!
+//! Earlier revisions configured runs through a soup of ad-hoc environment
+//! variables spread across twelve bench binaries (`FMAVERIFY_NODE_LIMIT`
+//! here, a hand-parsed thread count there). [`RunConfig`] collects the
+//! engine budgets, scheduler settings, telemetry pipeline and proof-cache
+//! mode in one plain-data struct with a single environment reader,
+//! [`RunConfig::from_env`]; [`crate::Session::configure`] applies it.
+//!
+//! ```no_run
+//! use fmaverify::prelude::*;
+//!
+//! let cfg = FpuConfig::double_ftz();
+//! let report = Session::new(&cfg)
+//!     .configure(RunConfig::from_env())
+//!     .run(FpuOp::Fma);
+//! # let _ = report;
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::cache::{CacheMode, ProofCache};
+use crate::engine_bdd::Minimize;
+use crate::harness::HarnessOptions;
+use crate::runner::{CancellationToken, RunOptions};
+use crate::trace::Tracer;
+
+/// The conventional on-disk location of the proof cache.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+/// One typed bundle of every run-tuning knob.
+///
+/// Plain data plus a [`Tracer`]: build one with [`RunConfig::default`] or
+/// [`RunConfig::from_env`], adjust fields directly, and hand it to
+/// [`crate::Session::configure`] (which also opens the proof cache when
+/// [`RunConfig::cache_mode`] asks for one).
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Worker threads for the case scheduler (0 = all available cores).
+    pub threads: usize,
+    /// Per-case BDD node budget (`None` = unbounded first rung).
+    pub node_budget: Option<usize>,
+    /// Per-case SAT conflict budget (`None` = unbounded first rung).
+    pub conflict_budget: Option<u64>,
+    /// Run redundancy removal before first-rung SAT cases.
+    pub sweep_before_sat: bool,
+    /// Garbage-collection threshold for the BDD engine.
+    pub gc_threshold: usize,
+    /// Retry a budget-exceeded case on the other engine class.
+    pub escalate: bool,
+    /// Cancel the remaining cases as soon as one counterexample is found.
+    pub stop_on_failure: bool,
+    /// BDD care-set minimization strategy.
+    pub minimize: Minimize,
+    /// Harness construction options.
+    pub harness: HarnessOptions,
+    /// Telemetry pipeline (default: disabled).
+    pub tracer: Tracer,
+    /// Proof-cache mode (default: [`CacheMode::Off`]).
+    pub cache_mode: CacheMode,
+    /// Proof-cache directory (default: [`DEFAULT_CACHE_DIR`]).
+    pub cache_dir: PathBuf,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        let defaults = RunOptions::default();
+        RunConfig {
+            threads: defaults.threads,
+            node_budget: defaults.node_budget,
+            conflict_budget: defaults.conflict_budget,
+            sweep_before_sat: defaults.sweep_before_sat,
+            gc_threshold: defaults.gc_threshold,
+            escalate: defaults.escalate,
+            stop_on_failure: defaults.stop_on_failure,
+            minimize: defaults.minimize,
+            harness: defaults.harness,
+            tracer: Tracer::disabled(),
+            cache_mode: CacheMode::Off,
+            cache_dir: PathBuf::from(DEFAULT_CACHE_DIR),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Reads the configuration from the `FMAVERIFY_*` environment, falling
+    /// back to [`RunConfig::default`] field by field:
+    ///
+    /// | variable | field | accepted values |
+    /// |---|---|---|
+    /// | `FMAVERIFY_THREADS` | [`RunConfig::threads`] | integer (0 = all cores) |
+    /// | `FMAVERIFY_NODE_LIMIT` | [`RunConfig::node_budget`] | integer (0 = unbounded) |
+    /// | `FMAVERIFY_CONFLICT_LIMIT` | [`RunConfig::conflict_budget`] | integer (0 = unbounded) |
+    /// | `FMAVERIFY_SWEEP` | [`RunConfig::sweep_before_sat`] | `1`/`0` |
+    /// | `FMAVERIFY_GC_THRESHOLD` | [`RunConfig::gc_threshold`] | integer |
+    /// | `FMAVERIFY_ESCALATE` | [`RunConfig::escalate`] | `1`/`0` |
+    /// | `FMAVERIFY_STOP_ON_FAILURE` | [`RunConfig::stop_on_failure`] | `1`/`0` |
+    /// | `FMAVERIFY_CACHE` | [`RunConfig::cache_mode`] | `off`, `ro`, `rw` |
+    /// | `FMAVERIFY_CACHE_DIR` | [`RunConfig::cache_dir`] | path |
+    ///
+    /// Unparseable values fall back to the default rather than erroring:
+    /// these are tuning knobs, not program input.
+    pub fn from_env() -> RunConfig {
+        let d = RunConfig::default();
+        RunConfig {
+            threads: env_usize("FMAVERIFY_THREADS").unwrap_or(d.threads),
+            node_budget: env_limit("FMAVERIFY_NODE_LIMIT").unwrap_or(d.node_budget),
+            conflict_budget: env_limit("FMAVERIFY_CONFLICT_LIMIT")
+                .map(|limit| limit.map(|n| n as u64))
+                .unwrap_or(d.conflict_budget),
+            sweep_before_sat: env_flag("FMAVERIFY_SWEEP").unwrap_or(d.sweep_before_sat),
+            gc_threshold: env_usize("FMAVERIFY_GC_THRESHOLD").unwrap_or(d.gc_threshold),
+            escalate: env_flag("FMAVERIFY_ESCALATE").unwrap_or(d.escalate),
+            stop_on_failure: env_flag("FMAVERIFY_STOP_ON_FAILURE").unwrap_or(d.stop_on_failure),
+            cache_mode: std::env::var("FMAVERIFY_CACHE")
+                .ok()
+                .and_then(|v| CacheMode::parse(&v))
+                .unwrap_or(d.cache_mode),
+            cache_dir: std::env::var_os("FMAVERIFY_CACHE_DIR")
+                .map(PathBuf::from)
+                .unwrap_or(d.cache_dir),
+            ..d
+        }
+    }
+
+    /// Replaces the telemetry pipeline (builder-style).
+    pub fn tracer(mut self, tracer: Tracer) -> RunConfig {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Sets the proof-cache mode (builder-style), keeping the directory.
+    pub fn cache(mut self, mode: CacheMode) -> RunConfig {
+        self.cache_mode = mode;
+        self
+    }
+
+    /// Opens the proof cache this configuration asks for (`None` when the
+    /// mode is [`CacheMode::Off`]).
+    pub fn open_cache(&self) -> Option<Arc<ProofCache>> {
+        self.cache_mode
+            .is_enabled()
+            .then(|| Arc::new(ProofCache::open(&self.cache_dir, self.cache_mode)))
+    }
+
+    /// Lowers the configuration into the scheduler's [`RunOptions`],
+    /// opening the proof cache in the process.
+    pub fn to_run_options(&self) -> RunOptions {
+        RunOptions {
+            harness: self.harness.clone(),
+            minimize: self.minimize,
+            threads: self.threads,
+            sweep_before_sat: self.sweep_before_sat,
+            gc_threshold: self.gc_threshold,
+            node_budget: self.node_budget,
+            conflict_budget: self.conflict_budget,
+            escalate: self.escalate,
+            stop_on_failure: self.stop_on_failure,
+            cancel: CancellationToken::new(),
+            tracer: self.tracer.clone(),
+            cache: self.open_cache(),
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Budget-style variable: absent ↦ `None` (fall back to the default),
+/// `0` ↦ `Some(None)` (explicitly unbounded), `n` ↦ `Some(Some(n))`.
+fn env_limit(name: &str) -> Option<Option<usize>> {
+    let n: usize = std::env::var(name).ok()?.trim().parse().ok()?;
+    Some((n > 0).then_some(n))
+}
+
+fn env_flag(name: &str) -> Option<bool> {
+    match std::env::var(name).ok()?.trim() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_run_options_default() {
+        let rc = RunConfig::default();
+        let ro = RunOptions::default();
+        assert_eq!(rc.threads, ro.threads);
+        assert_eq!(rc.node_budget, ro.node_budget);
+        assert_eq!(rc.conflict_budget, ro.conflict_budget);
+        assert_eq!(rc.sweep_before_sat, ro.sweep_before_sat);
+        assert_eq!(rc.gc_threshold, ro.gc_threshold);
+        assert_eq!(rc.escalate, ro.escalate);
+        assert_eq!(rc.cache_mode, CacheMode::Off);
+        assert!(rc.open_cache().is_none());
+    }
+
+    #[test]
+    fn lowering_carries_every_knob() {
+        let rc = RunConfig {
+            threads: 3,
+            node_budget: Some(1234),
+            conflict_budget: Some(99),
+            sweep_before_sat: true,
+            gc_threshold: 777,
+            escalate: false,
+            stop_on_failure: true,
+            ..RunConfig::default()
+        };
+        let ro = rc.to_run_options();
+        assert_eq!(ro.threads, 3);
+        assert_eq!(ro.node_budget, Some(1234));
+        assert_eq!(ro.conflict_budget, Some(99));
+        assert!(ro.sweep_before_sat);
+        assert_eq!(ro.gc_threshold, 777);
+        assert!(!ro.escalate);
+        assert!(ro.stop_on_failure);
+        assert!(ro.cache.is_none());
+    }
+
+    #[test]
+    fn cache_mode_builder_opens_cache() {
+        let dir =
+            std::env::temp_dir().join(format!("fmaverify-config-test-{}", std::process::id()));
+        let rc = RunConfig {
+            cache_dir: dir.clone(),
+            ..RunConfig::default()
+        }
+        .cache(CacheMode::ReadWrite);
+        let ro = rc.to_run_options();
+        let cache = ro.cache.expect("cache opened");
+        assert_eq!(cache.mode(), CacheMode::ReadWrite);
+        assert_eq!(cache.dir(), dir.as_path());
+        // Opening is lazy about the directory: nothing is created until a
+        // store is flushed.
+        assert!(!dir.exists());
+    }
+}

@@ -27,10 +27,12 @@ use crate::runner::{CaseAttempt, CaseResult, CounterExample, InstructionReport, 
 
 /// Version stamp emitted in every machine-readable document.
 ///
-/// Version 2 (this release) added per-case telemetry: engine counters under
-/// `"counters"`, scheduler fields (`queue_latency_seconds`, `stolen`), typed
-/// error strings, and the JSONL trace event stream.
-pub const SCHEMA_VERSION: u32 = 2;
+/// Version 2 added per-case telemetry: engine counters under `"counters"`,
+/// scheduler fields (`queue_latency_seconds`, `stolen`), typed error
+/// strings, and the JSONL trace event stream. Version 3 (this release)
+/// added the per-case `"cached"` flag and the proof-cache counters
+/// (`cache.hits` / `cache.misses` / `cache.stores`).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A JSON document fragment.
 #[derive(Clone, Debug, PartialEq)]
@@ -530,6 +532,7 @@ impl ToJson for CaseResult {
             ("escalations", JsonValue::int(self.escalations() as u64)),
             ("queue_latency_seconds", duration_json(self.queue_latency)),
             ("stolen", JsonValue::Bool(self.stolen)),
+            ("cached", JsonValue::Bool(self.cached)),
             ("duration_seconds", duration_json(self.duration)),
         ])
     }
@@ -639,6 +642,7 @@ mod tests {
             attempts: Vec::new(),
             queue_latency: Duration::ZERO,
             stolen: false,
+            cached: false,
             duration: Duration::from_millis(5),
         };
         let text = r.to_json().render();

@@ -26,6 +26,12 @@
 //!   whole input space;
 //! * [`session`] — the [`Session`] facade: one builder-style entry point
 //!   for every verification flow;
+//! * [`config`] — the typed [`RunConfig`]: every tuning knob (budgets,
+//!   threads, tracer, cache mode) in one struct with a single
+//!   environment reader;
+//! * [`cache`] — the content-addressed proof cache: case verdicts keyed by
+//!   a structural hash of the analyzed cone, replayed on later runs for
+//!   incremental verification;
 //! * [`runner`] / [`report`] — the work-stealing scheduler with per-case
 //!   budgets, [`runner::SchedulePolicy`] escalation ladders and
 //!   cancellation, plus Table-1-style aggregation;
@@ -72,9 +78,11 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cases;
 pub mod cec;
 pub mod completeness;
+pub mod config;
 pub mod engine;
 pub mod engine_bdd;
 pub mod engine_bdd_seq;
@@ -97,9 +105,11 @@ pub mod trace;
 pub use fmaverify_fpu::{DenormalMode, FpuConfig, FpuInputs, FpuOp, MultiplierMode, PipelineMode};
 pub use fmaverify_softfloat::{FpFormat, RoundingMode};
 
+pub use cache::{CacheMode, CacheStats, CachedCase, Fingerprint, ProofCache, CACHE_SCHEMA_VERSION};
 pub use cases::{cancellation_deltas, enumerate_cases, CaseClass, CaseId, ShaCase};
 pub use cec::{check_equivalence, import_netlist, CecResult};
 pub use completeness::{prove_completeness, CompletenessResult};
+pub use config::{RunConfig, DEFAULT_CACHE_DIR};
 pub use engine::{
     BddCaseEngine, BddSeqCaseEngine, CaseEngine, EngineBudget, EngineKind, EngineOutcome,
     EngineStats, EngineVerdict, SatCaseEngine,
@@ -140,7 +150,9 @@ pub use trace::{Counter, MetricSet, MetricsRegistry, Span, SpanKind, TraceEvent,
 /// use fmaverify::prelude::*;
 /// ```
 pub mod prelude {
+    pub use crate::cache::{CacheMode, ProofCache};
     pub use crate::cases::{CaseClass, CaseId};
+    pub use crate::config::RunConfig;
     pub use crate::engine::{EngineBudget, EngineKind};
     pub use crate::engine_bdd::Minimize;
     pub use crate::error::Error;

@@ -150,13 +150,20 @@ pub fn summarize(report: &InstructionReport) -> String {
     } else {
         String::new()
     };
+    let cached = report.results.iter().filter(|r| r.cached).count();
+    let cache_note = if cached > 0 {
+        format!(", {cached} cached")
+    } else {
+        String::new()
+    };
     format!(
-        "{}: {} cases ({} BDD, {} SAT{}), accumulated {:?}, wall {:?}, {}",
+        "{}: {} cases ({} BDD, {} SAT{}{}), accumulated {:?}, wall {:?}, {}",
         op_name(report.op),
         report.results.len(),
         bdd,
         sat,
         escalation_note,
+        cache_note,
         report.accumulated,
         report.wall,
         if report.all_hold() {
@@ -194,6 +201,7 @@ mod tests {
             attempts: Vec::new(),
             queue_latency: Duration::ZERO,
             stolen: false,
+            cached: false,
             duration: Duration::from_millis(ms),
         }
     }

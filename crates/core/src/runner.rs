@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 use fmaverify_fpu::{FpuConfig, FpuOp};
 use fmaverify_netlist::{BitSim, Netlist, Signal};
 
+use crate::cache::{CacheStats, CachedCase, Fingerprint, ProofCache};
 use crate::cases::{enumerate_cases, CaseClass, CaseId};
 use crate::engine::{
     BddCaseEngine, CaseEngine, EngineBudget, EngineKind, EngineOutcome, EngineStats, EngineVerdict,
@@ -113,6 +114,10 @@ pub struct CaseResult {
     pub queue_latency: Duration,
     /// True if a worker stole this case from a neighbour's queue.
     pub stolen: bool,
+    /// True when the verdict was replayed from the proof cache instead of
+    /// running any engine this run (`stats`/`attempts` then describe the
+    /// original proving run, while `duration` is the replay time).
+    pub cached: bool,
     /// Total wall-clock time across all attempts.
     pub duration: Duration,
 }
@@ -276,6 +281,9 @@ pub struct RunOptions {
     /// Telemetry pipeline; [`Tracer::disabled`] (the default) costs nearly
     /// nothing.
     pub tracer: Tracer,
+    /// Content-addressed proof cache consulted before every case dispatch
+    /// (`None` = always run the engines).
+    pub cache: Option<Arc<ProofCache>>,
 }
 
 impl Default for RunOptions {
@@ -292,6 +300,7 @@ impl Default for RunOptions {
             stop_on_failure: false,
             cancel: CancellationToken::new(),
             tracer: Tracer::disabled(),
+            cache: None,
         }
     }
 }
@@ -336,6 +345,7 @@ impl InstructionReport {
 
 /// Verifies one instruction across all of its cases with the default
 /// policy derived from `options`.
+#[doc(hidden)]
 #[deprecated(since = "0.2.0", note = "use `fmaverify::Session::new(cfg).run(op)`")]
 pub fn verify_instruction(cfg: &FpuConfig, op: FpuOp, options: &RunOptions) -> InstructionReport {
     verify_with(cfg, op, options, &SchedulePolicy::from_options(options))
@@ -343,6 +353,7 @@ pub fn verify_instruction(cfg: &FpuConfig, op: FpuOp, options: &RunOptions) -> I
 
 /// Verifies one instruction across all of its cases under an explicit
 /// [`SchedulePolicy`].
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "use `fmaverify::Session::new(cfg).policy(p).run(op)`"
@@ -384,6 +395,7 @@ pub(crate) fn verify_with(
             .map(|&case| (case, harness.case_constraint_parts(op, case)))
             .collect()
     };
+    let cache_before = options.cache.as_ref().map(|c| c.stats());
     let results = schedule_cases(
         &harness,
         op,
@@ -399,7 +411,12 @@ pub(crate) fn verify_with(
         "all_hold",
         JsonValue::Bool(results.iter().all(|r| r.holds())),
     );
+    run_span.field(
+        "cached",
+        JsonValue::int(results.iter().filter(|r| r.cached).count() as u64),
+    );
     drop(run_span);
+    finish_cache_accounting(options, cache_before, &tracer);
     tracer.emit_totals();
     tracer.flush();
     InstructionReport {
@@ -412,6 +429,7 @@ pub(crate) fn verify_with(
 
 /// Runs pre-built `(case, constraint)` pairs in parallel on the harness
 /// with the default policy derived from `options`.
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "use `fmaverify::Session::new(cfg).run_prepared(...)`"
@@ -433,6 +451,7 @@ pub fn run_cases(
 
 /// Runs pre-built `(case, constraint)` pairs on a work-stealing pool under
 /// an explicit policy.
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "use `fmaverify::Session::new(cfg).policy(p).run_prepared(...)`"
@@ -458,6 +477,7 @@ pub(crate) fn run_prepared_traced(
 ) -> Vec<CaseResult> {
     let tracer = options.tracer.clone();
     let mut run_span = tracer.span(SpanKind::Run, || format!("cases:{op:?}"));
+    let cache_before = options.cache.as_ref().map(|c| c.stats());
     let results = schedule_cases(
         harness,
         op,
@@ -468,9 +488,30 @@ pub(crate) fn run_prepared_traced(
     );
     run_span.field("cases", JsonValue::int(results.len() as u64));
     drop(run_span);
+    finish_cache_accounting(options, cache_before, &tracer);
     tracer.emit_totals();
     tracer.flush();
     results
+}
+
+/// Folds the cache activity of the run that just finished (the delta since
+/// `before`) into the registry totals and persists any pending stores.
+fn finish_cache_accounting(options: &RunOptions, before: Option<CacheStats>, tracer: &Tracer) {
+    let (Some(cache), Some(before)) = (options.cache.as_ref(), before) else {
+        return;
+    };
+    let after = cache.stats();
+    let handle = tracer.handle();
+    handle.add(Counter::CacheHits, after.hits.saturating_sub(before.hits));
+    handle.add(
+        Counter::CacheMisses,
+        after.misses.saturating_sub(before.misses),
+    );
+    handle.add(
+        Counter::CacheStores,
+        after.stores.saturating_sub(before.stores),
+    );
+    cache.flush();
 }
 
 /// The work-stealing pool.
@@ -537,10 +578,13 @@ fn schedule_cases(
                             *case,
                             constraint,
                             policy.ladder(op, *case),
-                            tracer,
-                            parent,
-                            queue_latency,
-                            stolen,
+                            CaseCtx {
+                                tracer,
+                                cache: options.cache.as_deref(),
+                                parent,
+                                queue_latency,
+                                stolen,
+                            },
                         );
                         if options.stop_on_failure && r.verdict == Verdict::Fails {
                             cancel.cancel();
@@ -548,8 +592,13 @@ fn schedule_cases(
                         r
                     };
                     if metrics.is_recording() {
-                        for attempt in &result.attempts {
-                            metrics.add_set(&attempt.stats.metrics);
+                        // A replayed result carries the *original* run's
+                        // attempt metrics; folding them here would claim
+                        // work this run never did.
+                        if !result.cached {
+                            for attempt in &result.attempts {
+                                metrics.add_set(&attempt.stats.metrics);
+                            }
                         }
                         metrics.add(Counter::SchedCasesCompleted, 1);
                         metrics.add(Counter::SchedEscalations, result.escalations() as u64);
@@ -612,12 +661,14 @@ fn canceled_result(op: FpuOp, case: CaseId, policy: &SchedulePolicy) -> CaseResu
         attempts: Vec::new(),
         queue_latency: Duration::ZERO,
         stolen: false,
+        cached: false,
         duration: Duration::ZERO,
     }
 }
 
 /// Runs one case with the default policy derived from `options` (ladder
 /// escalation included, no threading).
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "use `fmaverify::Session::new(cfg).run_case(...)`"
@@ -630,17 +681,18 @@ pub fn run_single_case(
     options: &RunOptions,
 ) -> CaseResult {
     let policy = SchedulePolicy::from_options(options);
-    run_case_traced(
+    let result = run_case_traced(
         harness,
         op,
         case,
         constraint_parts,
         policy.ladder(op, case),
-        &options.tracer,
-        None,
-        Duration::ZERO,
-        false,
-    )
+        CaseCtx::standalone(&options.tracer, options.cache.as_deref()),
+    );
+    if let Some(cache) = &options.cache {
+        cache.flush();
+    }
+    result
 }
 
 /// Walks one case down an escalation ladder until a stage decides it.
@@ -655,38 +707,94 @@ pub fn run_case_ladder(
     constraint_parts: &[Signal],
     ladder: &[EngineStage],
 ) -> CaseResult {
+    let tracer = Tracer::disabled();
     run_case_traced(
         harness,
         op,
         case,
         constraint_parts,
         ladder,
-        &Tracer::disabled(),
-        None,
-        Duration::ZERO,
-        false,
+        CaseCtx::standalone(&tracer, None),
     )
 }
 
+/// Ambient context of one case dispatch: where telemetry goes, which proof
+/// cache (if any) to consult, and the scheduler provenance of the dispatch.
+pub(crate) struct CaseCtx<'a> {
+    /// Telemetry pipeline.
+    pub tracer: &'a Tracer,
+    /// Proof cache to consult before running engines.
+    pub cache: Option<&'a ProofCache>,
+    /// Span to parent the case span to.
+    pub parent: Option<u64>,
+    /// Time the case spent queued before dispatch.
+    pub queue_latency: Duration,
+    /// Whether the dispatching worker stole the case.
+    pub stolen: bool,
+}
+
+impl<'a> CaseCtx<'a> {
+    /// Context for a standalone (unscheduled) dispatch.
+    pub(crate) fn standalone(tracer: &'a Tracer, cache: Option<&'a ProofCache>) -> CaseCtx<'a> {
+        CaseCtx {
+            tracer,
+            cache,
+            parent: None,
+            queue_latency: Duration::ZERO,
+            stolen: false,
+        }
+    }
+}
+
 /// The traced per-case driver: opens a `case` span (parented to the run
-/// span via `parent`), walks the ladder with one `stage` span per attempt,
-/// and annotates the case span with verdict, deciding engine, and
-/// scheduler telemetry.
-#[allow(clippy::too_many_arguments)]
+/// span via `ctx.parent`), consults the proof cache, and on a miss walks
+/// the ladder with one `stage` span per attempt, storing fresh definite
+/// verdicts back. The case span is annotated with verdict, deciding
+/// engine, cache status and scheduler telemetry.
 pub(crate) fn run_case_traced(
     harness: &Harness,
     op: FpuOp,
     case: CaseId,
     constraint_parts: &[Signal],
     ladder: &[EngineStage],
-    tracer: &Tracer,
-    parent: Option<u64>,
-    queue_latency: Duration,
-    stolen: bool,
+    ctx: CaseCtx<'_>,
 ) -> CaseResult {
     assert!(!ladder.is_empty(), "empty engine ladder for {case:?}");
-    let mut case_span = tracer.span_child(parent, SpanKind::Case, || format!("{case:?}"));
+    let tracer = ctx.tracer;
+    let mut case_span = tracer.span_child(ctx.parent, SpanKind::Case, || format!("{case:?}"));
     let start = Instant::now();
+
+    let fingerprint = ctx
+        .cache
+        .map(|_| Fingerprint::compute(harness, op, case, constraint_parts, ladder));
+    if let Some(hit) = ctx
+        .cache
+        .zip(fingerprint.as_ref())
+        .and_then(|(cache, fp)| cache.lookup(fp))
+    {
+        let result = CaseResult {
+            case,
+            op,
+            engine: hit.engine,
+            verdict: hit.verdict,
+            counterexample: hit.counterexample,
+            error: None,
+            stats: hit.stats,
+            attempts: hit.attempts,
+            queue_latency: ctx.queue_latency,
+            stolen: ctx.stolen,
+            cached: true,
+            duration: start.elapsed(),
+        };
+        if case_span.is_recording() {
+            case_span.record(Counter::CacheHits, 1);
+            case_span.field("verdict", result.verdict.to_json());
+            case_span.field("engine", JsonValue::string(hit.engine_name));
+            case_span.field("cached", JsonValue::Bool(true));
+        }
+        return result;
+    }
+
     let mut attempts: Vec<CaseAttempt> = Vec::with_capacity(1);
     let mut last_error: Option<Error> = None;
     let mut decided: Option<(usize, Verdict, Option<CounterExample>, EngineStats)> = None;
@@ -781,12 +889,36 @@ pub(crate) fn run_case_traced(
                 attempts,
                 queue_latency: Duration::ZERO,
                 stolen: false,
+                cached: false,
                 duration: start.elapsed(),
             }
         }
     };
-    result.queue_latency = queue_latency;
-    result.stolen = stolen;
+    result.queue_latency = ctx.queue_latency;
+    result.stolen = ctx.stolen;
+
+    // Memoize fresh definite verdicts (no-op unless the cache is
+    // read-write). Indefinite outcomes say nothing reusable about the case.
+    if let (Some(cache), Some(fp)) = (ctx.cache, &fingerprint) {
+        if matches!(result.verdict, Verdict::Holds | Verdict::Fails) {
+            cache.store(
+                fp,
+                CachedCase {
+                    verdict: result.verdict,
+                    engine: result.engine,
+                    engine_name: result
+                        .attempts
+                        .last()
+                        .map(|a| a.engine_name)
+                        .unwrap_or("cached"),
+                    counterexample: result.counterexample.clone(),
+                    stats: result.stats.clone(),
+                    attempts: result.attempts.clone(),
+                    duration: result.duration,
+                },
+            );
+        }
+    }
 
     if case_span.is_recording() {
         for attempt in &result.attempts {
@@ -795,9 +927,9 @@ pub(crate) fn run_case_traced(
         case_span.record(Counter::SchedEscalations, result.escalations() as u64);
         case_span.record(
             Counter::SchedQueueLatencyMicros,
-            queue_latency.as_micros() as u64,
+            ctx.queue_latency.as_micros() as u64,
         );
-        if stolen {
+        if ctx.stolen {
             case_span.record(Counter::SchedSteals, 1);
         }
         case_span.field("verdict", result.verdict.to_json());
@@ -835,6 +967,7 @@ fn finish(
         attempts,
         queue_latency: Duration::ZERO,
         stolen: false,
+        cached: false,
         duration: start.elapsed(),
     }
 }

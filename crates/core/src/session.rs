@@ -30,15 +30,19 @@
 //! # let _ = report;
 //! ```
 
+use std::sync::Arc;
+
 use fmaverify_fpu::{FpuConfig, FpuOp};
 use fmaverify_netlist::Signal;
 
+use crate::cache::ProofCache;
 use crate::cases::CaseId;
+use crate::config::RunConfig;
 use crate::engine::EngineBudget;
 use crate::engine_bdd::Minimize;
 use crate::harness::{Harness, HarnessOptions};
 use crate::runner::{
-    run_case_traced, run_prepared_traced, verify_with, CancellationToken, CaseResult,
+    run_case_traced, run_prepared_traced, verify_with, CancellationToken, CaseCtx, CaseResult,
     InstructionReport, RunOptions, SchedulePolicy,
 };
 use crate::trace::Tracer;
@@ -73,6 +77,29 @@ impl Session {
     /// already hold a [`RunOptions`]).
     pub fn options(mut self, options: RunOptions) -> Session {
         self.options = options;
+        self
+    }
+
+    /// Applies a typed [`RunConfig`] — budgets, threads, tracer, proof
+    /// cache — in one call, replacing the session's options. This is the
+    /// preferred way to configure a session from the environment:
+    ///
+    /// ```no_run
+    /// use fmaverify::prelude::*;
+    ///
+    /// let cfg = FpuConfig::double_ftz();
+    /// let session = Session::new(&cfg).configure(RunConfig::from_env());
+    /// # let _ = session;
+    /// ```
+    pub fn configure(mut self, config: RunConfig) -> Session {
+        self.options = config.to_run_options();
+        self
+    }
+
+    /// Attaches an already-open proof cache, shared with other sessions
+    /// (replayed verdicts are marked [`CaseResult::cached`]).
+    pub fn cache(mut self, cache: Arc<ProofCache>) -> Session {
+        self.options.cache = Some(cache);
         self
     }
 
@@ -207,17 +234,18 @@ impl Session {
         constraint_parts: &[Signal],
     ) -> CaseResult {
         let policy = self.effective_policy();
-        run_case_traced(
+        let result = run_case_traced(
             harness,
             op,
             case,
             constraint_parts,
             policy.ladder(op, case),
-            &self.options.tracer,
-            None,
-            std::time::Duration::ZERO,
-            false,
-        )
+            CaseCtx::standalone(&self.options.tracer, self.options.cache.as_deref()),
+        );
+        if let Some(cache) = &self.options.cache {
+            cache.flush();
+        }
+        result
     }
 }
 

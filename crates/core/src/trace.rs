@@ -80,11 +80,19 @@ pub enum Counter {
     /// Scheduler: total time cases spent queued before pickup, in
     /// microseconds.
     SchedQueueLatencyMicros,
+    /// Proof cache: cases replayed from a cached verdict instead of running
+    /// an engine.
+    CacheHits,
+    /// Proof cache: cases whose fingerprint was not in the cache (engines
+    /// ran).
+    CacheMisses,
+    /// Proof cache: fresh verdicts written back to the cache.
+    CacheStores,
 }
 
 impl Counter {
     /// All counters, in slot order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 20] = [
         Counter::BddIteCalls,
         Counter::BddCacheHits,
         Counter::BddCacheMisses,
@@ -102,6 +110,9 @@ impl Counter {
         Counter::SchedEscalations,
         Counter::SchedCasesCompleted,
         Counter::SchedQueueLatencyMicros,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheStores,
     ];
 
     /// Stable dotted name used in JSON output (e.g. `"bdd.ite_calls"`).
@@ -124,6 +135,9 @@ impl Counter {
             Counter::SchedEscalations => "sched.escalations",
             Counter::SchedCasesCompleted => "sched.cases_completed",
             Counter::SchedQueueLatencyMicros => "sched.queue_latency_us",
+            Counter::CacheHits => "cache.hits",
+            Counter::CacheMisses => "cache.misses",
+            Counter::CacheStores => "cache.stores",
         }
     }
 

@@ -1,0 +1,361 @@
+//! Canonical structural hashing of netlist cones.
+//!
+//! The proof cache in the verification layer memoizes case results keyed by
+//! *what was proved*: the exact logic cone the engines analyzed. This module
+//! provides the two halves of that key:
+//!
+//! * [`Sha256`] — a small, dependency-free SHA-256 implementation (crates.io
+//!   is unreachable in the build environment, so the digest is in-tree);
+//! * [`Netlist::coi_hash`] — a canonical 256-bit hash of the sequential cone
+//!   of influence of a set of root signals.
+//!
+//! The cone hash is *structural*: nodes are renumbered densely in the
+//! netlist's topological creation order restricted to the cone, so node IDs
+//! outside the cone, probe names, output declarations, and unrelated logic
+//! do not affect it. Because [`Netlist::and`] structurally hashes and
+//! canonicalizes operand order at construction time, two cones built by the
+//! same sequence of word-level operations hash identically, while any change
+//! to a gate, an inversion, an input name, or a latch reset value inside the
+//! cone changes the hash.
+
+use crate::aig::{Netlist, Node, Signal};
+
+/// Streaming SHA-256 (FIPS 180-4), dependency-free.
+///
+/// ```
+/// use fmaverify_netlist::Sha256;
+///
+/// let digest = Sha256::digest(b"abc");
+/// assert_eq!(
+///     Sha256::to_hex(&digest),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length: u64,
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buffer: [0; 64],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buffered > 0 {
+            let take = rest.len().min(64 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered < 64 {
+                return; // data fit in the partial block; rest is empty
+            }
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffered = 0;
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            self.compress(block.try_into().expect("64-byte block"));
+            rest = tail;
+        }
+        self.buffer[..rest.len()].copy_from_slice(rest);
+        self.buffered = rest.len();
+    }
+
+    /// Absorbs a little-endian `u64` (length-prefix-free framing for fixed
+    /// width fields).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorbs a length-prefixed byte string (unambiguous framing for
+    /// variable-width fields such as names).
+    pub fn update_bytes(&mut self, bytes: &[u8]) {
+        self.update_u64(bytes.len() as u64);
+        self.update(bytes);
+    }
+
+    /// Finishes and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.length.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        self.length = 0; // the padding bytes must not count
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Lowercase hex rendering of a digest.
+    pub fn to_hex(digest: &[u8; 32]) -> String {
+        let mut out = String::with_capacity(64);
+        for b in digest {
+            out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+            out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// Per-node tags fed into the cone hash; distinct from each other and from
+/// the header/root framing so the encoding is prefix-free.
+const TAG_CONST: u64 = 0;
+const TAG_INPUT: u64 = 1;
+const TAG_AND: u64 = 2;
+const TAG_LATCH: u64 = 3;
+
+impl Netlist {
+    /// Canonical 256-bit structural hash of the *sequential* cone of
+    /// influence of `roots` (AND operands and latch next-state functions are
+    /// both traversed).
+    ///
+    /// Nodes in the cone are renumbered densely in topological (creation)
+    /// order, so the hash depends only on the cone's structure — the gates,
+    /// their connectivity and inversions, input names, and latch reset
+    /// values — plus the root signals themselves, in order. Logic outside
+    /// the cone, probe points, and output declarations are invisible to it.
+    ///
+    /// ```
+    /// use fmaverify_netlist::Netlist;
+    ///
+    /// let mut n = Netlist::new();
+    /// let a = n.input("a");
+    /// let b = n.input("b");
+    /// let g = n.and(a, b);
+    /// let h0 = n.coi_hash(&[g]);
+    /// let _unrelated = n.and(a, !b); // outside the cone of g
+    /// assert_eq!(n.coi_hash(&[g]), h0);
+    /// assert_ne!(n.coi_hash(&[!g]), h0);
+    /// ```
+    pub fn coi_hash(&self, roots: &[Signal]) -> [u8; 32] {
+        let mask = self.seq_cone(roots);
+        // Dense renumbering in topological order restricted to the cone.
+        let mut dense: Vec<u64> = vec![u64::MAX; self.num_nodes()];
+        let mut next = 0u64;
+        for id in self.node_ids() {
+            if mask[id.index()] {
+                dense[id.index()] = next;
+                next += 1;
+            }
+        }
+        let enc = |sig: Signal| -> u64 {
+            let d = dense[sig.node().index()];
+            debug_assert_ne!(d, u64::MAX, "operand outside cone");
+            d << 1 | u64::from(sig.is_inverted())
+        };
+
+        let mut h = Sha256::new();
+        h.update_bytes(b"fmaverify-coi-v1");
+        h.update_u64(next);
+        for id in self.node_ids() {
+            if !mask[id.index()] {
+                continue;
+            }
+            match self.node(id) {
+                Node::Const => h.update_u64(TAG_CONST),
+                Node::Input { name } => {
+                    h.update_u64(TAG_INPUT);
+                    h.update_bytes(name.as_bytes());
+                }
+                Node::And(a, b) => {
+                    h.update_u64(TAG_AND);
+                    h.update_u64(enc(*a));
+                    h.update_u64(enc(*b));
+                }
+                Node::Latch { init, next, .. } => {
+                    h.update_u64(TAG_LATCH);
+                    h.update_u64(u64::from(*init));
+                    h.update_u64(enc(*next));
+                }
+            }
+        }
+        h.update_u64(roots.len() as u64);
+        for &r in roots {
+            h.update_u64(enc(r));
+        }
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_vectors() {
+        // FIPS 180-4 / NIST CAVP known-answer vectors.
+        assert_eq!(
+            Sha256::to_hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            Sha256::to_hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            Sha256::to_hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Streaming across block boundaries matches one-shot.
+        let data = vec![0xa3u8; 1000];
+        let mut streaming = Sha256::new();
+        for chunk in data.chunks(37) {
+            streaming.update(chunk);
+        }
+        assert_eq!(streaming.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn coi_hash_ignores_unrelated_logic() {
+        let mut n = Netlist::new();
+        let a = n.word_input("a", 4);
+        let b = n.word_input("b", 4);
+        let sum = n.add(&a, &b);
+        let root = sum.bit(3);
+        let before = n.coi_hash(&[root]);
+        // Unrelated logic, probes and outputs leave the cone hash alone.
+        let junk = n.ult(&a, &b);
+        n.probe("junk", junk);
+        n.output("junk", junk);
+        assert_eq!(n.coi_hash(&[root]), before);
+    }
+
+    #[test]
+    fn coi_hash_is_stable_across_rebuilds_and_sensitive_to_structure() {
+        let build = |swap: bool| -> (Netlist, Signal) {
+            let mut n = Netlist::new();
+            let a = n.word_input("a", 4);
+            let b = n.word_input("b", 4);
+            let s = if swap { n.sub(&a, &b) } else { n.add(&a, &b) };
+            let r = s.bit(2);
+            (n, r)
+        };
+        let (n1, r1) = build(false);
+        let (n2, r2) = build(false);
+        assert_eq!(n1.coi_hash(&[r1]), n2.coi_hash(&[r2]));
+        let (n3, r3) = build(true);
+        assert_ne!(n1.coi_hash(&[r1]), n3.coi_hash(&[r3]));
+    }
+
+    #[test]
+    fn coi_hash_sees_inversion_names_and_root_order() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let g = n.and(a, b);
+        let h = n.and(a, !b);
+        assert_ne!(n.coi_hash(&[g]), n.coi_hash(&[!g]));
+        assert_ne!(n.coi_hash(&[g]), n.coi_hash(&[h]));
+        assert_ne!(n.coi_hash(&[g, h]), n.coi_hash(&[h, g]));
+
+        let mut m = Netlist::new();
+        let x = m.input("x");
+        let y = m.input("b");
+        let gm = m.and(x, y);
+        // Same structure but a different input name hashes differently.
+        assert_ne!(n.coi_hash(&[g]), m.coi_hash(&[gm]));
+    }
+
+    #[test]
+    fn coi_hash_traverses_latches() {
+        let mut n = Netlist::new();
+        let d = n.input("d");
+        let q0 = n.latch(false);
+        n.set_latch_next(q0, d);
+        let h0 = n.coi_hash(&[q0]);
+
+        let mut m = Netlist::new();
+        let d2 = m.input("d");
+        let q1 = m.latch(true);
+        m.set_latch_next(q1, d2);
+        // Different reset value -> different hash.
+        assert_ne!(m.coi_hash(&[q1]), h0);
+    }
+}

@@ -15,7 +15,10 @@
 //! * [`unroll`] — bounded unfolding into combinational logic for SAT;
 //! * [`SatEncoder`] — Tseitin encoding of cones of influence;
 //! * [`sat_sweep`] — simulation-guided SAT sweeping, the paper's "automated
-//!   redundancy removal algorithms \[15\]".
+//!   redundancy removal algorithms \[15\]";
+//! * [`Sha256`] and [`Netlist::coi_hash`] — dependency-free digests and
+//!   canonical structural hashing of logic cones, the substrate of the
+//!   verification layer's content-addressed proof cache.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 
 mod aig;
 mod aiger;
+mod hash;
 mod sim;
 mod sweep;
 mod tseitin;
@@ -48,6 +52,7 @@ mod word;
 
 pub use aig::{Netlist, Node, NodeId, Signal};
 pub use aiger::{parse_aiger, write_aiger, ParseAigerError};
+pub use hash::Sha256;
 pub use sim::{BitSim, ParallelSim};
 pub use sweep::{prove_equal, sat_sweep, SweepOptions, SweepResult};
 pub use tseitin::{encode_to_cnf, SatEncoder};
