@@ -62,6 +62,26 @@ pub enum CaseClass {
     Monolithic,
 }
 
+impl CaseClass {
+    /// All case classes, in Table-1 presentation order.
+    pub const ALL: [CaseClass; 4] = [
+        CaseClass::OverlapWithCancellation,
+        CaseClass::OverlapNoCancellation,
+        CaseClass::FarOut,
+        CaseClass::Monolithic,
+    ];
+
+    /// A short stable label, e.g. for kill-matrix columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            CaseClass::OverlapWithCancellation => "overlap_cancel",
+            CaseClass::OverlapNoCancellation => "overlap_no_cancel",
+            CaseClass::FarOut => "farout",
+            CaseClass::Monolithic => "monolithic",
+        }
+    }
+}
+
 impl CaseId {
     /// The aggregation class of this case.
     pub fn class(self) -> CaseClass {

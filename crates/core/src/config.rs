@@ -61,6 +61,12 @@ pub struct RunConfig {
     pub cache_mode: CacheMode,
     /// Proof-cache directory (default: [`DEFAULT_CACHE_DIR`]).
     pub cache_dir: PathBuf,
+    /// Mutation campaigns: cap on the number of verified mutants (`None` =
+    /// exhaustive over the candidate fault space).
+    pub mutants: Option<usize>,
+    /// Mutation campaigns: RNG seed for mutant sampling and the
+    /// observability screen.
+    pub mutation_seed: u64,
 }
 
 impl Default for RunConfig {
@@ -79,6 +85,8 @@ impl Default for RunConfig {
             tracer: Tracer::disabled(),
             cache_mode: CacheMode::Off,
             cache_dir: PathBuf::from(DEFAULT_CACHE_DIR),
+            mutants: None,
+            mutation_seed: 0xBADC0DE,
         }
     }
 }
@@ -98,6 +106,8 @@ impl RunConfig {
     /// | `FMAVERIFY_STOP_ON_FAILURE` | [`RunConfig::stop_on_failure`] | `1`/`0` |
     /// | `FMAVERIFY_CACHE` | [`RunConfig::cache_mode`] | `off`, `ro`, `rw` |
     /// | `FMAVERIFY_CACHE_DIR` | [`RunConfig::cache_dir`] | path |
+    /// | `FMAVERIFY_MUTANTS` | [`RunConfig::mutants`] | integer (0 = exhaustive) |
+    /// | `FMAVERIFY_MUTATION_SEED` | [`RunConfig::mutation_seed`] | integer |
     ///
     /// Unparseable values fall back to the default rather than erroring:
     /// these are tuning knobs, not program input.
@@ -120,6 +130,11 @@ impl RunConfig {
             cache_dir: std::env::var_os("FMAVERIFY_CACHE_DIR")
                 .map(PathBuf::from)
                 .unwrap_or(d.cache_dir),
+            mutants: env_limit("FMAVERIFY_MUTANTS").unwrap_or(d.mutants),
+            mutation_seed: std::env::var("FMAVERIFY_MUTATION_SEED")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(d.mutation_seed),
             ..d
         }
     }

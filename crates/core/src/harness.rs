@@ -151,6 +151,70 @@ impl Harness {
         &self.options
     }
 
+    /// Re-points this harness at a rebuilt `netlist` and `miter` — after
+    /// fault injection ([`crate::inject_fault`]) or unrolling
+    /// ([`fmaverify_netlist::unroll`]), both of which preserve names but
+    /// renumber nodes. The operand/opcode/rounding-mode inputs, the `S'`/`T'`
+    /// pseudo-inputs, and the multiplier constraint are re-located by name
+    /// (falling back to the cycle-0 copy `name@0` of an unrolled netlist) so
+    /// the static BDD variable orders and counterexample decoding stay valid.
+    ///
+    /// The FPU-internal handles (`ref_fpu`, `impl_fpu`) are *not*
+    /// re-located: a rebound harness drives the proof engines
+    /// ([`crate::Session::run_prepared`]), not constraint construction —
+    /// build constraints on the original harness and carry them across as
+    /// named probes.
+    ///
+    /// # Panics
+    /// Panics if an input of the original harness cannot be found in
+    /// `netlist` under either name.
+    pub fn rebind(&self, netlist: Netlist, miter: Signal) -> Harness {
+        let input = |name: String| -> Signal {
+            netlist
+                .find_input(&name)
+                .or_else(|| netlist.find_input(&format!("{name}@0")))
+                .unwrap_or_else(|| panic!("rebind: input {name} missing from rebuilt netlist"))
+        };
+        let word = |prefix: &str, width: usize| -> Word {
+            Word::from_bits(
+                (0..width)
+                    .map(|i| input(format!("{prefix}[{i}]")))
+                    .collect(),
+            )
+        };
+        let w = self.cfg.format.width() as usize;
+        let inputs = FpuInputs {
+            a: word("a", w),
+            b: word("b", w),
+            c: word("c", w),
+            op: word("op", 3),
+            rm: word("rm", 2),
+        };
+        let st = self
+            .st
+            .as_ref()
+            .map(|(s, t)| (word("st_s", s.width()), word("st_t", t.width())));
+        let mult_constraint = if self.mult_constraint == Signal::TRUE {
+            Signal::TRUE
+        } else {
+            netlist
+                .find_probe("mult_constraint")
+                .or_else(|| netlist.find_probe("mult_constraint@0"))
+                .expect("rebind: mult_constraint probe missing")
+        };
+        Harness {
+            netlist,
+            inputs,
+            cfg: self.cfg,
+            ref_fpu: self.ref_fpu.clone(),
+            impl_fpu: self.impl_fpu.clone(),
+            miter,
+            st,
+            mult_constraint,
+            options: self.options.clone(),
+        }
+    }
+
     /// Builds the constraint signal for a verification case of instruction
     /// `op`: the opcode constraint, the δ (or far-out) constraint over the
     /// operand exponents, the `C_sha` constraint on the reference FPU's

@@ -14,8 +14,8 @@
 //! PR 2 adds the other direction: [`JsonValue::parse`] is a recursive-descent
 //! reader used by `trace::summary` to fold JSONL telemetry streams back into
 //! tables, plus accessors (`get`/`as_str`/`as_u64`/…) for walking parsed
-//! documents. All machine-readable output now carries
-//! [`SCHEMA_VERSION`]` = 2`; the schema is documented in `DESIGN.md`.
+//! documents. All machine-readable output carries [`SCHEMA_VERSION`]; the
+//! schema is documented in `DESIGN.md`.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -29,10 +29,14 @@ use crate::runner::{CaseAttempt, CaseResult, CounterExample, InstructionReport, 
 ///
 /// Version 2 added per-case telemetry: engine counters under `"counters"`,
 /// scheduler fields (`queue_latency_seconds`, `stolen`), typed error
-/// strings, and the JSONL trace event stream. Version 3 (this release)
-/// added the per-case `"cached"` flag and the proof-cache counters
-/// (`cache.hits` / `cache.misses` / `cache.stores`).
-pub const SCHEMA_VERSION: u32 = 3;
+/// strings, and the JSONL trace event stream. Version 3 added the per-case
+/// `"cached"` flag and the proof-cache counters (`cache.hits` /
+/// `cache.misses` / `cache.stores`). Version 4 (this release) emits
+/// integers exactly (a dedicated [`JsonValue::Int`] path instead of lossy
+/// `f64`), renders non-finite numbers as `null`, adds the `campaign.*`
+/// counters, and introduces the mutation-campaign document
+/// (`results/mutation_campaign.json`).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// A JSON document fragment.
 #[derive(Clone, Debug, PartialEq)]
@@ -41,7 +45,11 @@ pub enum JsonValue {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any finite number (emitted without trailing zeros where possible).
+    /// An integer, emitted exactly (no `f64` round-trip). Parsed numbers
+    /// without a fraction or exponent land here.
+    Int(i128),
+    /// Any other number. Non-finite values (NaN, ±∞) have no JSON
+    /// representation and render as `null`.
     Number(f64),
     /// A string (escaped on render).
     String(String),
@@ -67,9 +75,10 @@ impl JsonValue {
         JsonValue::String(s.into())
     }
 
-    /// An integer value (exact for |v| ≤ 2^53).
-    pub fn int(v: impl TryInto<i64>) -> JsonValue {
-        JsonValue::Number(v.try_into().map(|x| x as f64).unwrap_or(f64::MAX))
+    /// An integer value, exact for every primitive integer type. (The only
+    /// fallible conversion is `u128` above `i128::MAX`, which saturates.)
+    pub fn int(v: impl TryInto<i128>) -> JsonValue {
+        JsonValue::Int(v.try_into().unwrap_or(i128::MAX))
     }
 
     /// `value.map(f)` or `null`.
@@ -111,9 +120,11 @@ impl JsonValue {
         }
     }
 
-    /// The numeric payload, if this is a number.
+    /// The numeric payload, if this is a number (integers convert, losing
+    /// precision above 2^53).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
+            JsonValue::Int(i) => Some(*i as f64),
             JsonValue::Number(n) => Some(*n),
             _ => None,
         }
@@ -122,6 +133,7 @@ impl JsonValue {
     /// The numeric payload as a non-negative integer, if it is one exactly.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
             JsonValue::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n < 9e15 => Some(*n as u64),
             _ => None,
         }
@@ -321,6 +333,13 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
+        // Integer literals (no fraction, no exponent) round-trip exactly
+        // through the dedicated integer path.
+        if !text.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| self.err("invalid number"))
@@ -347,8 +366,15 @@ impl JsonValue {
         match self {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
             JsonValue::Number(n) => {
-                if n.fract() == 0.0 && n.abs() < 9e15 {
+                if !n.is_finite() {
+                    // NaN/±∞ have no JSON representation; `null` keeps the
+                    // document valid (documented on `SCHEMA_VERSION`).
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9e15 {
                     let _ = write!(out, "{}", *n as i64);
                 } else {
                     let _ = write!(out, "{n}");
@@ -622,6 +648,53 @@ mod tests {
     }
 
     #[test]
+    fn integers_emit_exactly_and_round_trip() {
+        // Values above 2^53 used to lose precision through the f64 path,
+        // and failed i64 conversions silently became f64::MAX.
+        for v in [0u64, 1 << 53, (1 << 53) + 1, u64::MAX - 1, u64::MAX] {
+            let rendered = JsonValue::int(v).render();
+            assert_eq!(rendered, v.to_string(), "exact emission of {v}");
+            let parsed = JsonValue::parse(&rendered).unwrap();
+            assert_eq!(parsed, JsonValue::Int(v as i128));
+            assert_eq!(parsed.as_u64(), Some(v), "round-trip of {v}");
+        }
+        for v in [i64::MIN, -1, i64::MAX] {
+            let rendered = JsonValue::int(v).render();
+            assert_eq!(rendered, v.to_string());
+            assert_eq!(
+                JsonValue::parse(&rendered).unwrap(),
+                JsonValue::Int(v as i128)
+            );
+        }
+        // The one fallible conversion saturates instead of turning into a
+        // nonsense float.
+        assert_eq!(JsonValue::int(u128::MAX), JsonValue::Int(i128::MAX));
+        // Integer parses stay integral; float syntax stays a Number.
+        assert_eq!(JsonValue::parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(
+            JsonValue::parse("4.5").unwrap(),
+            JsonValue::Number(4.5),
+            "fractional literals keep the float path"
+        );
+        assert_eq!(JsonValue::parse("1e3").unwrap(), JsonValue::Number(1000.0));
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        // NaN/±∞ would otherwise produce invalid JSON; the documented
+        // behavior is `null`.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = JsonValue::object(vec![("x", JsonValue::Number(v))]);
+            let text = doc.render();
+            assert_eq!(text, r#"{"x":null}"#);
+            let parsed = JsonValue::parse(&text).unwrap();
+            assert_eq!(parsed.get("x"), Some(&JsonValue::Null));
+        }
+        // Finite values are untouched by the guard.
+        assert_eq!(JsonValue::Number(2.5).render(), "2.5");
+    }
+
+    #[test]
     fn case_result_round_trips_key_fields() {
         use crate::engine::EngineStats;
         use crate::runner::Verdict;
@@ -672,7 +745,7 @@ mod tests {
         let v = JsonValue::object(vec![
             ("s", JsonValue::string("a\"b\\c\nd\t\u{1}")),
             ("n", JsonValue::Number(1.5)),
-            ("neg", JsonValue::Number(-2.0)),
+            ("neg", JsonValue::int(-2)),
             ("e", JsonValue::Number(1e-3)),
             ("t", JsonValue::Bool(true)),
             ("z", JsonValue::Null),

@@ -79,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod campaign;
 pub mod cases;
 pub mod cec;
 pub mod completeness;
@@ -106,6 +107,7 @@ pub use fmaverify_fpu::{DenormalMode, FpuConfig, FpuInputs, FpuOp, MultiplierMod
 pub use fmaverify_softfloat::{FpFormat, RoundingMode};
 
 pub use cache::{CacheMode, CacheStats, CachedCase, Fingerprint, ProofCache, CACHE_SCHEMA_VERSION};
+pub use campaign::{run_campaign, CampaignReport, MutantOutcome, MutantStatus};
 pub use cases::{cancellation_deltas, enumerate_cases, CaseClass, CaseId, ShaCase};
 pub use cec::{check_equivalence, import_netlist, CecResult};
 pub use completeness::{prove_completeness, CompletenessResult};
@@ -130,7 +132,10 @@ pub use isolation::{
     prove_multiplier_soundness_for, SoundnessResult,
 };
 pub use json::{JsonValue, ToJson, SCHEMA_VERSION};
-pub use mutate::{inject_fault, random_fault, Mutation, MutationKind};
+pub use mutate::{
+    fault_candidates, inject_fault, random_fault, random_fault_in, CandidateScope, Mutation,
+    MutationKind,
+};
 pub use order::{naive_order, paper_order};
 pub use report::{render_table1, summarize, table1_rows, TableRow};
 #[allow(deprecated)]
@@ -151,6 +156,7 @@ pub use trace::{Counter, MetricSet, MetricsRegistry, Span, SpanKind, TraceEvent,
 /// ```
 pub mod prelude {
     pub use crate::cache::{CacheMode, ProofCache};
+    pub use crate::campaign::{run_campaign, CampaignReport, MutantStatus};
     pub use crate::cases::{CaseClass, CaseId};
     pub use crate::config::RunConfig;
     pub use crate::engine::{EngineBudget, EngineKind};

@@ -33,6 +33,17 @@ impl MutationKind {
         MutationKind::AndToXor,
         MutationKind::PassThroughA,
     ];
+
+    /// A short stable label, e.g. for kill-matrix rows and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            MutationKind::InvertOutput => "invert_output",
+            MutationKind::InvertInputA => "invert_input_a",
+            MutationKind::AndToOr => "and_to_or",
+            MutationKind::AndToXor => "and_to_xor",
+            MutationKind::PassThroughA => "pass_through_a",
+        }
+    }
 }
 
 /// A performed mutation, for reporting.
@@ -106,14 +117,61 @@ pub fn inject_fault(netlist: &Netlist, target: NodeId, kind: MutationKind) -> Ne
     out
 }
 
-/// Picks a random AND node inside the cone of `within` and injects a random
-/// fault. Returns the mutated netlist and a description of the fault.
-pub fn random_fault(netlist: &Netlist, within: &[Signal], seed: u64) -> (Netlist, Mutation) {
-    let cone = netlist.comb_cone(within);
-    let candidates: Vec<NodeId> = netlist
+/// Which cone of influence candidate gates are drawn from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CandidateScope {
+    /// The combinational cone only: traversal stops at latch boundaries,
+    /// so gates feeding a pipeline register are out of reach. Use this when
+    /// the fault must stay in the same clock cycle as the observation
+    /// points (e.g. the cache fingerprint-sensitivity tests).
+    Comb,
+    /// The sequential cone: traversal continues through latch next-state
+    /// functions, reaching every gate that can influence the observation
+    /// points in *any* cycle. This is the right scope for pipelined
+    /// implementations.
+    Seq,
+}
+
+/// The AND gates eligible for fault injection: every AND node in the
+/// `scope` cone of `within`.
+pub fn fault_candidates(
+    netlist: &Netlist,
+    within: &[Signal],
+    scope: CandidateScope,
+) -> Vec<NodeId> {
+    let cone = match scope {
+        CandidateScope::Comb => netlist.comb_cone(within),
+        CandidateScope::Seq => netlist.seq_cone(within),
+    };
+    netlist
         .node_ids()
         .filter(|id| cone[id.index()] && matches!(netlist.node(*id), Node::And(..)))
-        .collect();
+        .collect()
+}
+
+/// Picks a random AND node inside the *sequential* cone of `within` and
+/// injects a random fault. Returns the mutated netlist and a description of
+/// the fault.
+///
+/// Earlier revisions sampled from the combinational cone, which on a
+/// pipelined implementation silently excluded every gate behind a latch;
+/// use [`random_fault_in`] with [`CandidateScope::Comb`] to get that
+/// behavior on purpose.
+pub fn random_fault(netlist: &Netlist, within: &[Signal], seed: u64) -> (Netlist, Mutation) {
+    random_fault_in(netlist, within, CandidateScope::Seq, seed)
+}
+
+/// [`random_fault`] with an explicit candidate [`CandidateScope`].
+///
+/// # Panics
+/// Panics if the chosen cone contains no AND gates.
+pub fn random_fault_in(
+    netlist: &Netlist,
+    within: &[Signal],
+    scope: CandidateScope,
+    seed: u64,
+) -> (Netlist, Mutation) {
+    let candidates = fault_candidates(netlist, within, scope);
     assert!(!candidates.is_empty(), "cone contains no AND gates");
     let mut rng = StdRng::seed_from_u64(seed);
     let node = candidates[rng.gen_range(0..candidates.len())];
@@ -178,6 +236,110 @@ mod tests {
             }
         }
         assert!(diff, "the fault must be observable on some input");
+    }
+
+    /// A two-cycle toy pipeline: `stage = a AND b` is registered, and the
+    /// output reads the register through logic and an inverted edge.
+    fn pipelined_toy() -> (Netlist, Signal, Signal) {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let l = n.latch(false);
+        let stage = n.and(a, b);
+        n.set_latch_next(l, stage);
+        let q = n.and(l, a);
+        let out = !q;
+        n.output("q", out);
+        n.probe("stage", stage);
+        (n, stage, out)
+    }
+
+    #[test]
+    fn seq_scope_reaches_gates_behind_latches() {
+        let (n, stage, out) = pipelined_toy();
+        let comb = fault_candidates(&n, &[out], CandidateScope::Comb);
+        let seq = fault_candidates(&n, &[out], CandidateScope::Seq);
+        assert!(
+            !comb.contains(&stage.node()),
+            "comb scope must stop at the latch"
+        );
+        assert!(
+            seq.contains(&stage.node()),
+            "seq scope must traverse the latch next-state"
+        );
+        assert!(seq.len() > comb.len());
+
+        // The default `random_fault` can now land behind the latch: on a
+        // netlist whose only AND feeds a register, the old comb-cone
+        // sampling had nothing to pick from.
+        let mut m = Netlist::new();
+        let x = m.input("x");
+        let y = m.input("y");
+        let r = m.latch(false);
+        let g = m.and(x, y);
+        m.set_latch_next(r, g);
+        m.output("r", r);
+        assert!(fault_candidates(&m, &[r], CandidateScope::Comb).is_empty());
+        let (_, fault) = random_fault(&m, &[r], 3);
+        assert_eq!(fault.node, g.node());
+    }
+
+    #[test]
+    fn sequential_fault_remaps_latch_next_state() {
+        let (n, stage, _) = pipelined_toy();
+        let m = inject_fault(&n, stage.node(), MutationKind::InvertOutput);
+        assert_eq!(m.num_latches(), n.num_latches(), "latches preserved");
+        assert!(
+            m.find_probe("stage").is_some(),
+            "probes survive the rebuild"
+        );
+        // Cycle-accurate check with a=b=1 held: clean registers 1 after the
+        // first step (q = !(l & a) flips 1 -> 0); the mutant's inverted
+        // stage registers 0, so q stays 1.
+        let run = |net: &Netlist| -> Vec<bool> {
+            let out = net.find_output("q").expect("output");
+            let mut sim = BitSim::new(net);
+            sim.set(net.find_input("a").expect("a"), true);
+            sim.set(net.find_input("b").expect("b"), true);
+            let mut vals = Vec::new();
+            for _ in 0..2 {
+                sim.eval();
+                vals.push(sim.get(out));
+                sim.step();
+            }
+            vals
+        };
+        assert_eq!(run(&n), vec![true, false]);
+        assert_eq!(run(&m), vec![true, true], "the fault must cross the latch");
+    }
+
+    #[test]
+    fn sequential_fault_preserves_inverted_latch_next_edges() {
+        // The latch next is connected through an INVERTED edge; the rebuild
+        // must re-apply the inversion to the remapped signal.
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let l = n.latch(false);
+        let g = n.and(a, b);
+        n.set_latch_next(l, !g);
+        n.output("r", l);
+        n.probe("next", !g);
+        let m = inject_fault(&n, g.node(), MutationKind::AndToOr);
+        // With a=1, b=0: clean next = !(1&0) = 1; mutant next = !(1|0) = 0.
+        let run = |net: &Netlist| -> bool {
+            let out = net.find_output("r").expect("output");
+            let mut sim = BitSim::new(net);
+            sim.set(net.find_input("a").expect("a"), true);
+            sim.set(net.find_input("b").expect("b"), false);
+            sim.eval();
+            sim.step();
+            sim.eval();
+            sim.get(out)
+        };
+        assert!(run(&n), "clean latch loads the inverted AND");
+        assert!(!run(&m), "mutant latch loads the inverted OR");
+        assert!(m.find_probe("next").is_some());
     }
 
     #[test]

@@ -990,12 +990,14 @@ fn decode_cex(harness: &Harness, assignment: HashMap<String, bool>) -> CounterEx
     let get_word = |prefix: &str, width: usize| -> u128 {
         (0..width)
             .map(|i| {
-                u128::from(
-                    assignment
-                        .get(&format!("{prefix}[{i}]"))
-                        .copied()
-                        .unwrap_or(false),
-                ) << i
+                // Unrolled harnesses hold their inputs at cycle 0, so the
+                // assignment keys carry an `@0` suffix.
+                let bit = assignment
+                    .get(&format!("{prefix}[{i}]"))
+                    .or_else(|| assignment.get(&format!("{prefix}[{i}]@0")))
+                    .copied()
+                    .unwrap_or(false);
+                u128::from(bit) << i
             })
             .sum()
     };

@@ -88,11 +88,24 @@ pub enum Counter {
     CacheMisses,
     /// Proof cache: fresh verdicts written back to the cache.
     CacheStores,
+    /// Mutation campaign: mutants verified (killed + survived + budget).
+    CampaignMutants,
+    /// Mutation campaign: mutants killed by a replay-confirmed
+    /// counterexample.
+    CampaignKilled,
+    /// Mutation campaign: mutants every case of which held — a coverage
+    /// hole or checker bug.
+    CampaignSurvived,
+    /// Mutation campaign: mutants left undecided by engine budgets.
+    CampaignBudgetExceeded,
+    /// Mutation campaign: sampled candidate faults skipped because random
+    /// simulation found no witness (likely functionally equivalent).
+    CampaignSkippedUnobserved,
 }
 
 impl Counter {
     /// All counters, in slot order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 25] = [
         Counter::BddIteCalls,
         Counter::BddCacheHits,
         Counter::BddCacheMisses,
@@ -113,6 +126,11 @@ impl Counter {
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheStores,
+        Counter::CampaignMutants,
+        Counter::CampaignKilled,
+        Counter::CampaignSurvived,
+        Counter::CampaignBudgetExceeded,
+        Counter::CampaignSkippedUnobserved,
     ];
 
     /// Stable dotted name used in JSON output (e.g. `"bdd.ite_calls"`).
@@ -138,6 +156,11 @@ impl Counter {
             Counter::CacheHits => "cache.hits",
             Counter::CacheMisses => "cache.misses",
             Counter::CacheStores => "cache.stores",
+            Counter::CampaignMutants => "campaign.mutants",
+            Counter::CampaignKilled => "campaign.killed",
+            Counter::CampaignSurvived => "campaign.survived",
+            Counter::CampaignBudgetExceeded => "campaign.budget_exceeded",
+            Counter::CampaignSkippedUnobserved => "campaign.skipped_unobserved",
         }
     }
 
