@@ -33,5 +33,7 @@
 mod manager;
 mod reorder;
 
-pub use manager::{Bdd, BddManager, BddStats, BddVar, FastHasher};
+pub use manager::{
+    Bdd, BddManager, BddStats, BddVar, FastHasher, DEFAULT_CACHE_SIZE, MIN_CACHE_SIZE,
+};
 pub use reorder::{sift, ReorderResult};

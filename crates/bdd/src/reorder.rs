@@ -18,7 +18,10 @@ pub struct ReorderResult {
     pub nodes_before: usize,
     /// Reachable node count after the pass.
     pub nodes_after: usize,
-    /// Number of candidate orders evaluated.
+    /// Number of candidate orders actually evaluated (rebuilt and counted).
+    /// Candidates whose trial order equals the current order are skipped and
+    /// not counted, and neither is the final settling rebuild — this counts
+    /// evaluations, not `set_order` calls.
     pub orders_tried: usize,
 }
 
@@ -43,20 +46,28 @@ pub fn sift(mgr: &mut BddManager, roots: &[Bdd], max_vars: usize) -> ReorderResu
     ranked.truncate(max_vars);
 
     let n = mgr.num_vars();
+    // Scratch buffers reused across every candidate evaluation, so trying an
+    // order costs no allocation beyond the rebuild itself.
+    let mut candidates: Vec<usize> = Vec::with_capacity(7);
+    let mut trial_order: Vec<BddVar> = Vec::with_capacity(n);
     for v in ranked {
         let current_level = mgr.level_of(v);
-        let mut candidates: Vec<usize> = vec![0, n / 4, n / 2, 3 * n / 4, n.saturating_sub(1)];
+        candidates.clear();
+        candidates.extend_from_slice(&[0, n / 4, n / 2, 3 * n / 4, n.saturating_sub(1)]);
         candidates.push(current_level.saturating_sub(2));
         candidates.push((current_level + 2).min(n - 1));
         candidates.sort_unstable();
         candidates.dedup();
         let mut best_level = current_level;
-        for cand in candidates {
-            if cand == mgr.level_of(v) {
+        for &cand in &candidates {
+            order_with_var_at(mgr, v, cand, &mut trial_order);
+            // Skip any candidate whose trial order is the order we already
+            // hold (not just the literal `cand == level_of(v)` case): the
+            // rebuild would be a no-op evaluation.
+            if order_is_current(mgr, &trial_order) {
                 continue;
             }
-            let order = order_with_var_at(mgr, v, cand);
-            let trial_roots = mgr.set_order(&order, &roots);
+            let trial_roots = mgr.set_order(&trial_order, &roots);
             orders_tried += 1;
             let count = mgr.reachable_count(&trial_roots);
             roots = trial_roots;
@@ -65,11 +76,13 @@ pub fn sift(mgr: &mut BddManager, roots: &[Bdd], max_vars: usize) -> ReorderResu
                 best_level = cand;
             }
         }
-        // Settle the variable at its best level.
+        // Settle the variable at its best level (a re-application of an
+        // already-evaluated order, so it does not count as a new trial).
         if mgr.level_of(v) != best_level {
-            let order = order_with_var_at(mgr, v, best_level);
-            roots = mgr.set_order(&order, &roots);
-            orders_tried += 1;
+            order_with_var_at(mgr, v, best_level, &mut trial_order);
+            if !order_is_current(mgr, &trial_order) {
+                roots = mgr.set_order(&trial_order, &roots);
+            }
         }
     }
     let nodes_after = mgr.reachable_count(&roots);
@@ -92,16 +105,23 @@ fn var_occupancy(mgr: &BddManager, roots: &[Bdd]) -> Vec<usize> {
     counts
 }
 
-/// Builds the current order with `v` moved to `target_level`.
-fn order_with_var_at(mgr: &BddManager, v: BddVar, target_level: usize) -> Vec<BddVar> {
-    let mut order: Vec<BddVar> = mgr
-        .current_order()
-        .into_iter()
-        .filter(|&x| x != v)
-        .collect();
-    let pos = target_level.min(order.len());
-    order.insert(pos, v);
-    order
+/// Builds the current order with `v` moved to `target_level`, into the
+/// caller's scratch buffer.
+fn order_with_var_at(mgr: &BddManager, v: BddVar, target_level: usize, out: &mut Vec<BddVar>) {
+    out.clear();
+    out.extend(
+        (0..mgr.num_vars())
+            .map(|l| mgr.var_at_level(l))
+            .filter(|&x| x != v),
+    );
+    let pos = target_level.min(out.len());
+    out.insert(pos, v);
+}
+
+/// Returns `true` when `order` equals the manager's current order (without
+/// allocating).
+fn order_is_current(mgr: &BddManager, order: &[BddVar]) -> bool {
+    order.iter().enumerate().all(|(l, v)| mgr.level_of(*v) == l)
 }
 
 impl BddManager {

@@ -1,0 +1,187 @@
+//! Kernel-level property tests for the arena/subtable/computed-cache BDD
+//! manager: results must be independent of the (lossy) computed-cache size,
+//! garbage collection must preserve the semantics of arbitrary root subsets
+//! while keeping every structural invariant, and unique-table growth across
+//! mixed build/collect workloads must never break canonicity.
+//!
+//! These complement `semantics.rs` (which checks the operation algebra):
+//! here the random workloads are chosen to force the kernel through its
+//! resize, eviction, free-list-reuse and mark-and-sweep paths.
+
+use fmaverify_bdd::{Bdd, BddManager, MIN_CACHE_SIZE};
+use proptest::prelude::*;
+
+const NUM_VARS: usize = 6;
+
+/// One random two-input gate of a tiny netlist: an op applied to two earlier
+/// signals (inputs or prior gate outputs), each possibly inverted.
+#[derive(Clone, Copy, Debug)]
+struct Gate {
+    op: u8,
+    a: usize,
+    inv_a: bool,
+    b: usize,
+    inv_b: bool,
+}
+
+/// A random netlist: gates only reference earlier signals, like a
+/// topologically ordered AIG. Signal `i < NUM_VARS` is input `i`; signal
+/// `NUM_VARS + k` is gate `k`'s output.
+fn arb_netlist(max_gates: usize) -> impl Strategy<Value = Vec<Gate>> {
+    prop::collection::vec(
+        (0u8..4, 0usize..64, any::<bool>(), 0usize..64, any::<bool>()),
+        1..max_gates,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(k, (op, a, inv_a, b, inv_b))| Gate {
+                op,
+                a: a % (NUM_VARS + k),
+                inv_a,
+                b: b % (NUM_VARS + k),
+                inv_b,
+            })
+            .collect()
+    })
+}
+
+/// Evaluates the netlist under one input assignment, returning every signal.
+fn sim_netlist(gates: &[Gate], inputs: &[bool]) -> Vec<bool> {
+    let mut vals: Vec<bool> = inputs.to_vec();
+    for g in gates {
+        let a = vals[g.a] ^ g.inv_a;
+        let b = vals[g.b] ^ g.inv_b;
+        vals.push(match g.op {
+            0 => a && b,
+            1 => a || b,
+            2 => a != b,
+            _ => a == b,
+        });
+    }
+    vals
+}
+
+/// Builds the netlist symbolically, returning every signal's BDD.
+fn build_netlist(mgr: &mut BddManager, gates: &[Gate]) -> Vec<Bdd> {
+    let vars = (0..mgr.num_vars())
+        .map(|i| mgr.var_bdd(fmaverify_bdd::BddVar::from_index(i)))
+        .collect::<Vec<_>>();
+    let mut sigs: Vec<Bdd> = vars;
+    for g in gates {
+        let a = if g.inv_a { !sigs[g.a] } else { sigs[g.a] };
+        let b = if g.inv_b { !sigs[g.b] } else { sigs[g.b] };
+        let v = match g.op {
+            0 => mgr.and(a, b),
+            1 => mgr.or(a, b),
+            2 => mgr.xor(a, b),
+            _ => mgr.xnor(a, b),
+        };
+        sigs.push(v);
+    }
+    sigs
+}
+
+fn assignment(bits: u32) -> Vec<bool> {
+    (0..NUM_VARS).map(|i| bits >> i & 1 == 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The computed cache is lossy: a minimum-size cache (maximum conflict
+    /// eviction and no headroom to grow) must produce bit-identical handles
+    /// and truth tables to the default cache.
+    #[test]
+    fn results_independent_of_cache_size(gates in arb_netlist(40)) {
+        let mut small = BddManager::with_cache_size(MIN_CACHE_SIZE);
+        small.new_vars(NUM_VARS);
+        let mut big = BddManager::new();
+        big.new_vars(NUM_VARS);
+        let sigs_small = build_netlist(&mut small, &gates);
+        let sigs_big = build_netlist(&mut big, &gates);
+        // Same creation order + canonicity => identical handles, even though
+        // the small manager recomputes where the big one hits its cache.
+        prop_assert_eq!(&sigs_small, &sigs_big);
+        for bits in 0..1u32 << NUM_VARS {
+            let a = assignment(bits);
+            let sim = sim_netlist(&gates, &a);
+            for (sig, expect) in sigs_small.iter().zip(&sim) {
+                prop_assert_eq!(small.eval(*sig, &a), *expect);
+            }
+        }
+        small.validate().expect("invariants with minimum cache");
+    }
+
+    /// Collecting an arbitrary subset of the netlist's signals as roots
+    /// preserves the function of every survivor, keeps all kernel
+    /// invariants, and leaves the manager fully usable (free slots are
+    /// reused and new nodes still canonical).
+    #[test]
+    fn gc_preserves_random_root_sets(gates in arb_netlist(40), keep_mask in any::<u64>()) {
+        let mut mgr = BddManager::new();
+        mgr.new_vars(NUM_VARS);
+        let sigs = build_netlist(&mut mgr, &gates);
+        // Tables of the kept subset, before collection.
+        let kept: Vec<(usize, Bdd)> = sigs
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(i, _)| keep_mask >> (i % 64) & 1 == 1)
+            .collect();
+        let roots: Vec<Bdd> = kept.iter().map(|&(_, f)| f).collect();
+        let remapped = mgr.gc(&roots);
+        prop_assert_eq!(remapped.len(), roots.len());
+        mgr.validate().expect("kernel invariants");
+        for bits in 0..1u32 << NUM_VARS {
+            let a = assignment(bits);
+            let sim = sim_netlist(&gates, &a);
+            for (&(i, _), &f) in kept.iter().zip(&remapped) {
+                prop_assert_eq!(mgr.eval(f, &a), sim[i], "signal {} after gc", i);
+            }
+        }
+        // The manager stays canonical after the collection: rebuilding the
+        // whole netlist must reproduce functions identical to the survivors.
+        let rebuilt = build_netlist(&mut mgr, &gates);
+        for (&(i, _), &f) in kept.iter().zip(&remapped) {
+            prop_assert_eq!(rebuilt[i], f, "rebuild of signal {} diverges", i);
+        }
+        mgr.validate().expect("kernel invariants");
+    }
+
+    /// Unique-table growth invariants: interleaving builds with collections
+    /// (which shrink and rebuild the subtables) must keep the node count
+    /// consistent, canonicity intact, and every structural invariant green
+    /// at each step.
+    #[test]
+    fn unique_table_survives_grow_collect_cycles(
+        gates in arb_netlist(30),
+        rounds in 1usize..4,
+    ) {
+        let mut mgr = BddManager::new();
+        mgr.new_vars(NUM_VARS);
+        let mut last: Vec<Bdd> = Vec::new();
+        for _ in 0..rounds {
+            // Build (growing subtables), then collect everything but the
+            // final signal (shrinking them and freeing slots for reuse).
+            let sigs = build_netlist(&mut mgr, &gates);
+            mgr.validate().expect("kernel invariants");
+            let roots = [*sigs.last().expect("at least one input")];
+            last = mgr.gc(&roots);
+            mgr.validate().expect("kernel invariants");
+            // Everything reachable is exactly what the manager reports live.
+            let reach = mgr.reachable_count(&last);
+            prop_assert!(
+                reach <= mgr.stats().allocated,
+                "reachable {} > allocated {}",
+                reach,
+                mgr.stats().allocated
+            );
+        }
+        for bits in 0..1u32 << NUM_VARS {
+            let a = assignment(bits);
+            let sim = sim_netlist(&gates, &a);
+            prop_assert_eq!(mgr.eval(last[0], &a), *sim.last().expect("signal"));
+        }
+    }
+}

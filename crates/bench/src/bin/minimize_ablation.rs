@@ -70,6 +70,7 @@ fn main() {
                     order: paper_order(&h, delta),
                     node_limit: Some(node_limit),
                     gc_threshold: node_limit / 8,
+                    ..BddEngineOptions::default()
                 },
             );
             assert!(out.holds || out.aborted, "{case:?} under {minimize:?}");

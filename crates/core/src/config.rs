@@ -47,6 +47,10 @@ pub struct RunConfig {
     pub sweep_before_sat: bool,
     /// Garbage-collection threshold for the BDD engine.
     pub gc_threshold: usize,
+    /// Computed-cache size cap (entries) for each BDD case's manager. The
+    /// cache is lossy and direct-mapped: a smaller cap trades recompute
+    /// work for memory without ever changing results.
+    pub bdd_cache_size: usize,
     /// Retry a budget-exceeded case on the other engine class.
     pub escalate: bool,
     /// Cancel the remaining cases as soon as one counterexample is found.
@@ -78,6 +82,7 @@ impl Default for RunConfig {
             conflict_budget: defaults.conflict_budget,
             sweep_before_sat: defaults.sweep_before_sat,
             gc_threshold: defaults.gc_threshold,
+            bdd_cache_size: defaults.bdd_cache_size,
             escalate: defaults.escalate,
             stop_on_failure: defaults.stop_on_failure,
             minimize: defaults.minimize,
@@ -102,6 +107,7 @@ impl RunConfig {
     /// | `FMAVERIFY_CONFLICT_LIMIT` | [`RunConfig::conflict_budget`] | integer (0 = unbounded) |
     /// | `FMAVERIFY_SWEEP` | [`RunConfig::sweep_before_sat`] | `1`/`0` |
     /// | `FMAVERIFY_GC_THRESHOLD` | [`RunConfig::gc_threshold`] | integer |
+    /// | `FMAVERIFY_BDD_CACHE_SIZE` | [`RunConfig::bdd_cache_size`] | integer (entries) |
     /// | `FMAVERIFY_ESCALATE` | [`RunConfig::escalate`] | `1`/`0` |
     /// | `FMAVERIFY_STOP_ON_FAILURE` | [`RunConfig::stop_on_failure`] | `1`/`0` |
     /// | `FMAVERIFY_CACHE` | [`RunConfig::cache_mode`] | `off`, `ro`, `rw` |
@@ -121,6 +127,7 @@ impl RunConfig {
                 .unwrap_or(d.conflict_budget),
             sweep_before_sat: env_flag("FMAVERIFY_SWEEP").unwrap_or(d.sweep_before_sat),
             gc_threshold: env_usize("FMAVERIFY_GC_THRESHOLD").unwrap_or(d.gc_threshold),
+            bdd_cache_size: env_usize("FMAVERIFY_BDD_CACHE_SIZE").unwrap_or(d.bdd_cache_size),
             escalate: env_flag("FMAVERIFY_ESCALATE").unwrap_or(d.escalate),
             stop_on_failure: env_flag("FMAVERIFY_STOP_ON_FAILURE").unwrap_or(d.stop_on_failure),
             cache_mode: std::env::var("FMAVERIFY_CACHE")
@@ -168,6 +175,7 @@ impl RunConfig {
             threads: self.threads,
             sweep_before_sat: self.sweep_before_sat,
             gc_threshold: self.gc_threshold,
+            bdd_cache_size: self.bdd_cache_size,
             node_budget: self.node_budget,
             conflict_budget: self.conflict_budget,
             escalate: self.escalate,
@@ -211,6 +219,7 @@ mod tests {
         assert_eq!(rc.conflict_budget, ro.conflict_budget);
         assert_eq!(rc.sweep_before_sat, ro.sweep_before_sat);
         assert_eq!(rc.gc_threshold, ro.gc_threshold);
+        assert_eq!(rc.bdd_cache_size, ro.bdd_cache_size);
         assert_eq!(rc.escalate, ro.escalate);
         assert_eq!(rc.cache_mode, CacheMode::Off);
         assert!(rc.open_cache().is_none());
@@ -224,6 +233,7 @@ mod tests {
             conflict_budget: Some(99),
             sweep_before_sat: true,
             gc_threshold: 777,
+            bdd_cache_size: 1 << 14,
             escalate: false,
             stop_on_failure: true,
             ..RunConfig::default()
@@ -234,6 +244,7 @@ mod tests {
         assert_eq!(ro.conflict_budget, Some(99));
         assert!(ro.sweep_before_sat);
         assert_eq!(ro.gc_threshold, 777);
+        assert_eq!(ro.bdd_cache_size, 1 << 14);
         assert!(!ro.escalate);
         assert!(ro.stop_on_failure);
         assert!(ro.cache.is_none());

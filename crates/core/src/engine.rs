@@ -162,6 +162,8 @@ pub struct BddCaseEngine {
     pub minimize: Minimize,
     /// Garbage-collection threshold for the node arena.
     pub gc_threshold: usize,
+    /// Computed-cache size cap (entries) for each case's manager.
+    pub cache_size: usize,
 }
 
 impl Default for BddCaseEngine {
@@ -169,6 +171,7 @@ impl Default for BddCaseEngine {
         BddCaseEngine {
             minimize: Minimize::Constrain,
             gc_threshold: 2_000_000,
+            cache_size: fmaverify_bdd::DEFAULT_CACHE_SIZE,
         }
     }
 }
@@ -204,6 +207,7 @@ impl CaseEngine for BddCaseEngine {
                 order,
                 gc_threshold: self.gc_threshold,
                 node_limit: budget.node_limit,
+                cache_size: self.cache_size,
             },
         );
         bdd_outcome_to_engine(out)
@@ -218,6 +222,8 @@ pub struct BddSeqCaseEngine {
     pub minimize: Minimize,
     /// Garbage-collection threshold for the node arena.
     pub gc_threshold: usize,
+    /// Computed-cache size cap (entries) for each case's manager.
+    pub cache_size: usize,
     /// Cycle at which the miter is sampled; `None` derives it from the
     /// harness's pipeline latency.
     pub check_cycle: Option<usize>,
@@ -228,6 +234,7 @@ impl Default for BddSeqCaseEngine {
         BddSeqCaseEngine {
             minimize: Minimize::Constrain,
             gc_threshold: 2_000_000,
+            cache_size: fmaverify_bdd::DEFAULT_CACHE_SIZE,
             check_cycle: None,
         }
     }
@@ -264,6 +271,7 @@ impl CaseEngine for BddSeqCaseEngine {
                 order,
                 gc_threshold: self.gc_threshold,
                 node_limit: budget.node_limit,
+                cache_size: self.cache_size,
             },
         );
         bdd_outcome_to_engine(out)
@@ -349,6 +357,10 @@ fn bdd_outcome_to_engine(out: crate::engine_bdd::BddOutcome) -> EngineOutcome {
     metrics.add(Counter::BddNodesAllocated, m.nodes_created);
     metrics.add(Counter::BddPeakLiveNodes, out.peak_nodes as u64);
     metrics.add(Counter::BddGcRuns, m.gc_runs);
+    metrics.add(Counter::BddCacheEvictions, m.cache_evictions);
+    metrics.add(Counter::BddUniqueProbes, m.unique_probes);
+    metrics.add(Counter::BddGcFreed, m.gc_freed);
+    metrics.add(Counter::BddCacheOccupancy, m.cache_occupancy as u64);
     let stats = EngineStats {
         peak_bdd_nodes: Some(out.peak_nodes),
         care_nodes: Some(out.care_nodes),

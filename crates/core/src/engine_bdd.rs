@@ -42,11 +42,18 @@ pub struct BddEngineOptions {
     /// Variable order: input signals from top to bottom of the order.
     /// Inputs not listed are appended in creation order.
     pub order: Vec<Signal>,
-    /// Garbage-collect when the node arena exceeds this size.
+    /// Garbage-collect when the node arena exceeds this size. This is the
+    /// floor of a dead-fraction trigger: after each collection the next one
+    /// fires only once allocations at least double the surviving live set,
+    /// so a large live working set does not cause a collection per gate.
     pub gc_threshold: usize,
     /// Abort when the node arena exceeds this size even right after a
     /// collection (memory explosion guard). `None` = unbounded.
     pub node_limit: Option<usize>,
+    /// Computed-cache size cap for the manager, in entries (rounded to a
+    /// power of two). The cache is lossy: a smaller cap trades recompute
+    /// for memory and never changes results.
+    pub cache_size: usize,
 }
 
 impl Default for BddEngineOptions {
@@ -56,6 +63,7 @@ impl Default for BddEngineOptions {
             order: Vec::new(),
             gc_threshold: 2_000_000,
             node_limit: None,
+            cache_size: fmaverify_bdd::DEFAULT_CACHE_SIZE,
         }
     }
 }
@@ -109,7 +117,7 @@ pub fn check_miter_bdd_parts(
     opts: &BddEngineOptions,
 ) -> BddOutcome {
     let start = Instant::now();
-    let mut mgr = BddManager::new();
+    let mut mgr = BddManager::with_cache_size(opts.cache_size);
 
     // Assign variables per the requested order.
     let mut var_of_node: HashMap<u32, BddVar> = HashMap::new();
@@ -265,7 +273,7 @@ pub fn check_miter_bdd_parts(
     let mut values: Vec<Option<Bdd>> = vec![None; netlist.num_nodes()];
     let mut care_cur = care_bdd;
     let mut aborted = false;
-    let mut gc_threshold = opts.gc_threshold;
+    let mut next_gc = opts.gc_threshold;
     for id in netlist.node_ids() {
         if !cone[id.index()] {
             continue;
@@ -304,7 +312,7 @@ pub fn check_miter_bdd_parts(
                 }
             }
         }
-        if mgr.stats().allocated > gc_threshold {
+        if mgr.stats().allocated > next_gc {
             let mut roots: Vec<Bdd> = values.iter().flatten().copied().collect();
             roots.push(care_cur);
             let new_roots = mgr.gc(&roots);
@@ -316,11 +324,11 @@ pub fn check_miter_bdd_parts(
                 }
             }
             care_cur = new_roots[k];
-            // Adapt: if the live set itself approaches the threshold, raise
-            // it so collections don't run after every gate.
-            if mgr.stats().allocated * 2 > gc_threshold {
-                gc_threshold = mgr.stats().allocated * 4;
-            }
+            // Dead-fraction trigger: fire the next collection once the arena
+            // is at least half garbage relative to the survivors of this one
+            // (allocations doubled the live set), never below the configured
+            // floor. A mostly-live arena is not worth re-collecting.
+            next_gc = (mgr.stats().allocated * 2).max(opts.gc_threshold);
             if let Some(limit) = opts.node_limit {
                 if mgr.stats().allocated > limit {
                     aborted = true;

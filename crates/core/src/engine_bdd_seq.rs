@@ -35,7 +35,7 @@ pub fn check_miter_bdd_sequential(
 ) -> BddOutcome {
     let start = Instant::now();
     netlist.assert_closed();
-    let mut mgr = BddManager::new();
+    let mut mgr = BddManager::with_cache_size(opts.cache_size);
 
     // Variables per the static order, remaining inputs appended.
     let mut var_of_node: HashMap<u32, BddVar> = HashMap::new();

@@ -210,6 +210,7 @@ impl SchedulePolicy {
         let bdd = BddCaseEngine {
             minimize: options.minimize,
             gc_threshold: options.gc_threshold,
+            cache_size: options.bdd_cache_size,
         };
         let mut overlap = vec![EngineStage {
             engine: bdd.clone().shared(),
@@ -267,6 +268,8 @@ pub struct RunOptions {
     pub sweep_before_sat: bool,
     /// Garbage-collection threshold for the BDD engine.
     pub gc_threshold: usize,
+    /// Computed-cache size cap (entries) for each BDD case's manager.
+    pub bdd_cache_size: usize,
     /// Per-case BDD node budget (`None` = unbounded first rung).
     pub node_budget: Option<usize>,
     /// Per-case SAT conflict budget (`None` = unbounded first rung).
@@ -294,6 +297,7 @@ impl Default for RunOptions {
             threads: 0,
             sweep_before_sat: false,
             gc_threshold: 2_000_000,
+            bdd_cache_size: fmaverify_bdd::DEFAULT_CACHE_SIZE,
             node_budget: None,
             conflict_budget: None,
             escalate: true,

@@ -133,6 +133,14 @@ impl Session {
         self
     }
 
+    /// Caps the BDD computed cache at `entries` slots per case manager. The
+    /// cache is lossy: a smaller cap trades recompute work for memory and
+    /// never changes verdicts.
+    pub fn bdd_cache_size(mut self, entries: usize) -> Session {
+        self.options.bdd_cache_size = entries;
+        self
+    }
+
     /// Sets both per-case budgets from one [`EngineBudget`]: the node limit
     /// bounds first-rung BDD attempts, the conflict limit bounds first-rung
     /// SAT attempts.
@@ -268,6 +276,7 @@ mod tests {
             .threads(2)
             .sweep_before_sat(true)
             .gc_threshold(123)
+            .bdd_cache_size(1 << 15)
             .budget(EngineBudget {
                 node_limit: Some(1000),
                 conflict_limit: Some(50),
@@ -278,6 +287,7 @@ mod tests {
         assert_eq!(opts.threads, 2);
         assert!(opts.sweep_before_sat);
         assert_eq!(opts.gc_threshold, 123);
+        assert_eq!(opts.bdd_cache_size, 1 << 15);
         assert_eq!(opts.node_budget, Some(1000));
         assert_eq!(opts.conflict_budget, Some(50));
         assert!(!opts.escalate);

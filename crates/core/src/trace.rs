@@ -57,6 +57,18 @@ pub enum Counter {
     BddPeakLiveNodes,
     /// BDD manager: garbage collections.
     BddGcRuns,
+    /// BDD manager: computed-cache entries overwritten by a colliding store
+    /// (the direct-mapped cache is lossy; this counts its replacement
+    /// pressure).
+    BddCacheEvictions,
+    /// BDD manager: unique-table probe steps beyond the home slot (linear
+    /// probing; 0 extra probes means every lookup hit its hash bucket).
+    BddUniqueProbes,
+    /// BDD manager: arena nodes freed by garbage collections.
+    BddGcFreed,
+    /// BDD manager: computed-cache slots occupied at snapshot time (reported
+    /// as a high-water mark, merged with `max` rather than `+`).
+    BddCacheOccupancy,
     /// SAT solver: decisions.
     SatDecisions,
     /// SAT solver: unit propagations.
@@ -105,13 +117,17 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in slot order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 29] = [
         Counter::BddIteCalls,
         Counter::BddCacheHits,
         Counter::BddCacheMisses,
         Counter::BddNodesAllocated,
         Counter::BddPeakLiveNodes,
         Counter::BddGcRuns,
+        Counter::BddCacheEvictions,
+        Counter::BddUniqueProbes,
+        Counter::BddGcFreed,
+        Counter::BddCacheOccupancy,
         Counter::SatDecisions,
         Counter::SatPropagations,
         Counter::SatConflicts,
@@ -142,6 +158,10 @@ impl Counter {
             Counter::BddNodesAllocated => "bdd.nodes_allocated",
             Counter::BddPeakLiveNodes => "bdd.peak_live_nodes",
             Counter::BddGcRuns => "bdd.gc_runs",
+            Counter::BddCacheEvictions => "bdd.cache_evictions",
+            Counter::BddUniqueProbes => "bdd.unique_probes",
+            Counter::BddGcFreed => "bdd.gc_freed",
+            Counter::BddCacheOccupancy => "bdd.cache_occupancy",
             Counter::SatDecisions => "sat.decisions",
             Counter::SatPropagations => "sat.propagations",
             Counter::SatConflicts => "sat.conflicts",
@@ -178,7 +198,7 @@ impl Counter {
     /// Whether this counter is a high-water mark (merged with `max`) rather
     /// than a monotonic sum.
     pub fn is_gauge(self) -> bool {
-        matches!(self, Counter::BddPeakLiveNodes)
+        matches!(self, Counter::BddPeakLiveNodes | Counter::BddCacheOccupancy)
     }
 }
 
